@@ -1,0 +1,22 @@
+# Convenience targets for the DSN 2001 reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:            ## regenerate every paper figure + the extra studies
+	pytest benchmarks/ --benchmark-only -s
+
+figures:          ## quick CLI pass over the analytic figures
+	python -m repro fig4
+	python -m repro fig5
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

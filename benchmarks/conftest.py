@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``benchmarks/test_figNN_*.py`` regenerates one figure of the paper:
+it runs the experiment under pytest-benchmark (so regeneration time is
+tracked), prints the series table the paper plots, writes a CSV to
+``benchmarks/results/``, and asserts the figure's *qualitative* claim
+(monotonicity / exponential fall / bound) — the shapes, not the authors'
+absolute numbers, since the substrate is a reimplemented simulator.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _write_csv(name: str, content: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.csv"
+    path.write_text(content)
+    return path
+
+
+@pytest.fixture
+def record_figure():
+    """Print a FigureResult/TableResult and persist its CSV."""
+
+    def _record(result, name: str | None = None):
+        name = name or getattr(result, "figure_id", "table")
+        print()
+        print(result.render())
+        path = _write_csv(name, result.to_csv())
+        print(f"[csv] {path}")
+        return result
+
+    return _record
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Execute a figure function once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        lambda: figure_fn(**kwargs), iterations=1, rounds=1
+    )

@@ -1,0 +1,72 @@
+"""Extra A: baseline comparison (paper Sections 4, 5, 6.2 side by side).
+
+Reproduces the paper's *argument* rather than a figure: under the same
+unreliable network and crash rate, Hierarchical Gossiping must beat the
+leader-based schemes on completeness while using far fewer messages than
+flooding.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import baseline_comparison
+
+PROTOCOLS = (
+    "hierarchical_gossip",
+    "flood",
+    "centralized",
+    "leader_election",
+    "flat_gossip",
+)
+
+
+def _column(table, protocol, header):
+    index = table.headers.index(header)
+    for row in table.rows:
+        if row[0] == protocol:
+            return row[index]
+    raise KeyError(protocol)
+
+
+def test_baselines_under_paper_defaults(benchmark, record_figure):
+    table = run_figure(
+        benchmark, baseline_comparison,
+        protocols=PROTOCOLS, n=200, runs=10,
+        ucastl=0.25, pf=0.001,
+    )
+    record_figure(table, name="extra_baselines_defaults")
+
+    gossip = _column(table, "hierarchical_gossip", "completeness")
+    flood = _column(table, "flood", "completeness")
+    leader = _column(table, "leader_election", "completeness")
+    flat = _column(table, "flat_gossip", "completeness")
+
+    # Section 4: flooding's completeness is capped by raw delivery rate
+    # (~1 - ucastl); gossip redundancy beats it outright.
+    assert gossip > flood
+    assert flood < 1 - 0.25 + 0.05
+    # Section 6.2: leader election loses whole subtrees to loss/crashes.
+    assert gossip > leader
+    # Flat gossip cannot finish N coupons in the same round budget.
+    assert gossip > flat
+
+    # Message complexity: gossip stays well below flooding's O(N^2).
+    gossip_messages = _column(table, "hierarchical_gossip", "messages")
+    flood_messages = _column(table, "flood", "messages")
+    assert gossip_messages < flood_messages
+
+
+def test_baselines_under_crash_storm(benchmark, record_figure):
+    """Raise pf 20x: the leader schemes crumble, gossip degrades gently."""
+    table = run_figure(
+        benchmark, baseline_comparison,
+        protocols=("hierarchical_gossip", "centralized", "leader_election"),
+        n=200, runs=10, ucastl=0.25, pf=0.02,
+    )
+    record_figure(table, name="extra_baselines_crash_storm")
+
+    gossip = _column(table, "hierarchical_gossip", "completeness")
+    centralized = _column(table, "centralized", "completeness")
+    leader = _column(table, "leader_election", "completeness")
+    assert gossip > centralized
+    assert gossip > leader
+    assert gossip > 0.8

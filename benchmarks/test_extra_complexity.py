@@ -1,0 +1,35 @@
+"""Extra B: measured message/time complexity vs the paper's bounds.
+
+Section 6.3 claims O(N log^2 N) messages and O(log^2 N) rounds.  We
+measure both across a doubling sweep of N and check the normalized
+columns stay bounded (no super-claimed growth).
+"""
+
+import math
+
+from conftest import run_figure
+
+from repro.experiments.figures import complexity_scaling
+
+N_VALUES = (100, 200, 400, 800, 1600)
+
+
+def test_complexity_scaling(benchmark, record_figure):
+    table = run_figure(
+        benchmark, complexity_scaling, n_values=N_VALUES, runs=3
+    )
+    record_figure(table, name="extra_complexity")
+
+    normalized_messages = [row[3] for row in table.rows]
+    normalized_rounds = [row[4] for row in table.rows]
+
+    # O(N log^2 N) messages: normalized column bounded within a small
+    # constant factor across a 16x N range.
+    assert max(normalized_messages) < 4 * min(normalized_messages)
+    # O(log^2 N) rounds: same for the time column.
+    assert max(normalized_rounds) < 4 * min(normalized_rounds)
+
+    # And the raw columns do grow (sanity that normalization is doing
+    # work, not dividing noise).
+    raw_messages = [row[1] for row in table.rows]
+    assert raw_messages[-1] > raw_messages[0] * 8

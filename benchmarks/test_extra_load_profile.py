@@ -1,0 +1,89 @@
+"""Extra G: per-round load profile (the Section 2 bandwidth constraint).
+
+The paper's scalability argument assumes every member gossips at a
+*constant rate*: bounded sends per member per round and constant message
+size, with total per-round traffic O(N).  End-of-run totals can't verify
+a rate, so this benchmark records the per-round time series at two group
+sizes and checks:
+
+* no member ever exceeds M (+ push-pull headroom) sends in any round;
+* mean bytes/message is flat in N (constant message size);
+* the per-round aggregate load scales ~linearly in N (not quadratically).
+"""
+
+from conftest import run_figure
+
+from repro.core import (
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    build_hierarchical_gossip_group,
+    get_aggregate,
+)
+from repro.experiments.reporting import TableResult
+from repro.sim import (
+    LossyNetwork,
+    RngRegistry,
+    RoundMetrics,
+    SimulationEngine,
+)
+
+
+def _profile(n: int, seed: int = 0) -> RoundMetrics:
+    votes = {i: float(i % 17) for i in range(n)}
+    function = get_aggregate("average")
+    hierarchy = GridBoxHierarchy(n, 4)
+    assignment = GridAssignment(hierarchy, votes, FairHash(salt=seed))
+    processes = build_hierarchical_gossip_group(
+        votes, function, assignment, GossipParams()
+    )
+    metrics = RoundMetrics()
+    engine = SimulationEngine(
+        network=LossyNetwork(0.25, max_message_size=1 << 20),
+        rngs=RngRegistry(seed),
+        max_rounds=1000,
+        metrics=metrics,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    return metrics
+
+
+def _build_table():
+    table = TableResult(
+        title="Per-round load profile of Hierarchical Gossiping",
+        headers=["N", "peak member sends/round", "mean bytes/message",
+                 "peak round messages", "peak/N"],
+    )
+    profiles = {}
+    for n in (100, 400, 1600):
+        metrics = _profile(n)
+        peak_rate = metrics.peak_member_rate()
+        peak_round = max(metrics.messages_per_round())
+        profiles[n] = (peak_rate, metrics.mean_bytes_per_message(),
+                       peak_round)
+        table.rows.append([
+            n, peak_rate, metrics.mean_bytes_per_message(), peak_round,
+            peak_round / n,
+        ])
+    return table, profiles
+
+
+def test_load_profile(benchmark, record_figure):
+    table, profiles = benchmark.pedantic(_build_table, iterations=1,
+                                         rounds=1)
+    record_figure(table, name="extra_load_profile")
+
+    rates = {n: values[0] for n, values in profiles.items()}
+    bytes_per_message = {n: values[1] for n, values in profiles.items()}
+    peak_rounds = {n: values[2] for n, values in profiles.items()}
+
+    # Constant per-member send rate: never above the fanout M = 2.
+    assert all(rate <= 2 for rate in rates.values())
+    # Constant message size: flat in N within 25%.
+    smallest, largest = bytes_per_message[100], bytes_per_message[1600]
+    assert abs(largest - smallest) / smallest < 0.25
+    # O(N) per-round load: peak/N flat within 2x while N grows 16x.
+    ratios = [peak / n for n, (__, __, peak) in profiles.items()]
+    assert max(ratios) < 2 * min(ratios)

@@ -1,0 +1,84 @@
+"""Extra J: continuous-MIB staleness scaling.
+
+The MIB layer (the Astrolabe-style mode of this library) answers queries
+locally at any time; its cost is *staleness* — how many rounds a vote
+change needs to reach everyone's query result.  A change must climb the
+hierarchy and re-disseminate, so staleness should grow like the number of
+levels (~log N), not like N.  This benchmark measures rounds-to-90%%-
+convergence after a step change, across a 16x group-size range.
+"""
+
+from conftest import run_figure
+
+from repro.core import (
+    FairHash,
+    GridAssignment,
+    GridBoxHierarchy,
+    get_aggregate,
+)
+from repro.experiments.reporting import TableResult
+from repro.mib import build_mib_group
+from repro.sim import LossyNetwork, RngRegistry, SimulationEngine
+
+WARMUP = 40
+LIMIT = 400
+
+
+def _staleness(n, seed=0, ucastl=0.25):
+    votes = {i: 10.0 for i in range(n)}
+    function = get_aggregate("average")
+    assignment = GridAssignment(
+        GridBoxHierarchy(n, 4), votes, FairHash(0)
+    )
+    processes = build_mib_group(votes, function, assignment)
+    engine = SimulationEngine(
+        network=LossyNetwork(ucastl, max_message_size=1 << 20),
+        rngs=RngRegistry(seed),
+        max_rounds=100_000,
+    )
+    engine.add_processes(processes)
+    engine.run(until=lambda: engine.round >= WARMUP)
+
+    processes[0].set_vote(10.0 + n)  # moves the average by exactly 1.0
+    expected = 11.0
+    changed_at = engine.round
+    while engine.round < changed_at + LIMIT:
+        target = engine.round + 1
+        engine.run(until=lambda: engine.round >= target)
+        converged = sum(
+            1
+            for p in processes
+            if abs((p.query_value() or 0.0) - expected) < 1e-9
+        )
+        if converged >= 0.9 * n:
+            return engine.round - changed_at
+    return LIMIT
+
+
+def _build_table():
+    table = TableResult(
+        title="MIB staleness: rounds to 90% convergence after a change",
+        headers=["N", "levels", "staleness (rounds)", "staleness/levels"],
+    )
+    rows = {}
+    for n in (64, 256, 1024):
+        hierarchy = GridBoxHierarchy(n, 4)
+        staleness = _staleness(n)
+        rows[n] = (hierarchy.num_phases, staleness)
+        table.rows.append([
+            n, hierarchy.num_phases, staleness,
+            staleness / hierarchy.num_phases,
+        ])
+    return table, rows
+
+
+def test_mib_staleness(benchmark, record_figure):
+    table, rows = benchmark.pedantic(_build_table, iterations=1, rounds=1)
+    record_figure(table, name="extra_mib_staleness")
+
+    # Staleness grows far slower than N: 16x more members may cost at
+    # most ~4x the staleness (levels grow from 3 to 5).
+    assert rows[1024][1] < 4 * max(1, rows[64][1])
+    # And in absolute terms a change reaches 90% of a 1024-member group
+    # within a modest round budget.
+    assert rows[1024][1] < 120

@@ -1,0 +1,58 @@
+"""Extra F: mean-field prediction vs simulation along the Figure 7 sweep.
+
+The analysis-side counterpart of the simulated figures: composing the
+discrete epidemic model per phase predicts the protocol's incompleteness
+for any parameter point.  Like the paper's Theorem 1 the prediction is
+pessimistic (it ignores version upgrading and final-phase serving); this
+benchmark verifies (1) pessimism — predicted >= measured everywhere —
+and (2) shape — both fall together as the network improves.
+"""
+
+import statistics
+
+from conftest import run_figure
+
+from repro.analysis.prediction import predict_incompleteness
+from repro.experiments.params import with_params
+from repro.experiments.reporting import FigureResult, Series
+from repro.experiments.runner import run_once
+
+LOSS_VALUES = (0.25, 0.4, 0.5, 0.6, 0.7)
+
+
+def _build_figure(runs: int = 25, seed: int = 0) -> FigureResult:
+    measured = Series("measured incompleteness")
+    predicted = Series("mean-field prediction")
+    for ucastl in LOSS_VALUES:
+        config = with_params(ucastl=ucastl, seed=seed)
+        values = [
+            run_once(config.with_seed(seed + offset)).incompleteness
+            for offset in range(runs)
+        ]
+        measured.add(ucastl, statistics.fmean(values))
+        predicted.add(ucastl, predict_incompleteness(200, ucastl=ucastl))
+    return FigureResult(
+        figure_id="extra_prediction",
+        title="Mean-field epidemic prediction vs simulation (loss sweep)",
+        x_label="ucastl",
+        y_label="incompleteness",
+        series=[measured, predicted],
+        notes="Prediction must upper-bound measurement and share its shape.",
+    )
+
+
+def test_prediction_bounds_simulation(benchmark, record_figure):
+    figure = benchmark.pedantic(_build_figure, iterations=1, rounds=1)
+    record_figure(figure)
+    measured, predicted = figure.series
+
+    # 1. Pessimism: the analysis never promises more than the simulator
+    #    delivers.
+    for measured_value, predicted_value in zip(measured.ys, predicted.ys):
+        assert predicted_value >= measured_value
+
+    # 2. Shape: both series rise monotonically with the loss rate.
+    assert all(a <= b for a, b in zip(predicted.ys, predicted.ys[1:]))
+    assert all(
+        a <= b * 1.5 + 1e-6 for a, b in zip(measured.ys, measured.ys[1:])
+    )

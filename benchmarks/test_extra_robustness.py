@@ -1,0 +1,132 @@
+"""Extra D: the paper's side claims, measured.
+
+Three claims the paper makes in passing get their own sweeps here:
+
+* Section 6.1: "an approximate estimate of N at each member usually
+  suffices" — hierarchy built for a wrong N.
+* Section 2: "our results apply in cases such as a multicast being used
+  for protocol initiation" — staggered member starts.
+* Section 2: complete views are assumed "although this can be relaxed in
+  our final hierarchical gossiping solution" — partial views.
+"""
+
+from conftest import run_figure
+
+from repro.core import (
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    build_hierarchical_gossip_group,
+    get_aggregate,
+    measure_completeness,
+)
+from repro.experiments.figures import (
+    ext_approximate_n,
+    ext_partial_views,
+    ext_start_spread,
+)
+from repro.experiments.reporting import TableResult
+from repro.sim import JitterNetwork, RngRegistry, SimulationEngine
+
+
+def test_approximate_group_size(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, ext_approximate_n,
+        factors=(0.25, 0.5, 1.0, 2.0, 4.0), runs=10,
+    )
+    record_figure(figure, name="ext_approx_n")
+    ys = figure.primary().ys
+
+    # Measured refinement of the paper's claim: the sensitivity is
+    # asymmetric.  *Over*-estimates are free across a 4x range (more,
+    # smaller boxes; same or more rounds), while *under*-estimates shrink
+    # both the box count and the round budget and cost completeness.
+    exact, over2, over4 = ys[2], ys[3], ys[4]
+    assert over2 <= exact + 0.01
+    assert over4 <= exact + 0.01
+    under2 = ys[1]
+    assert under2 < 0.15          # 2x under-estimate: bounded damage
+    assert ys[0] < 0.5            # 4x under-estimate: degraded, not dead
+
+
+def test_multicast_initiation(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, ext_start_spread, spreads=(0, 1, 2, 4, 8), runs=10
+    )
+    record_figure(figure, name="ext_start_spread")
+    ys = figure.primary().ys
+
+    # Claim: a realistic multicast wave (1-2 rounds of spread) costs
+    # almost nothing relative to a simultaneous start...
+    assert ys[1] < 0.02
+    assert ys[2] < 0.05
+    # ...and degradation beyond stays graceful, not cliff-edged.
+    assert ys[-1] < 0.5
+
+
+def test_partial_views(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, ext_partial_views,
+        fractions=(0.25, 0.5, 0.75, 1.0), runs=10,
+    )
+    record_figure(figure, name="ext_partial_views")
+    ys = figure.primary().ys
+
+    # Claim: the complete-view assumption is relaxable — degradation is
+    # graceful and monotone as views shrink; 75% views cost single-digit
+    # percentages, and even quarter-views keep most votes.
+    assert ys[-1] < 0.01   # complete views: baseline
+    assert ys[-2] < 0.10   # 75% views
+    assert ys[0] < 0.6     # even 25% views keep most votes
+    assert all(a >= b - 0.02 for a, b in zip(ys, ys[1:]))  # monotone-ish
+
+
+def _jitter_row(mean_extra, runs=8, n=200):
+    incompleteness = 0.0
+    for seed in range(runs):
+        votes = {i: float(i % 11) for i in range(n)}
+        hierarchy = GridBoxHierarchy(n, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(salt=seed))
+        processes = build_hierarchical_gossip_group(
+            votes, get_aggregate("average"), assignment, GossipParams()
+        )
+        engine = SimulationEngine(
+            network=JitterNetwork(
+                ucastl=0.25, mean_extra_latency=mean_extra,
+                max_message_size=1 << 20,
+            ),
+            rngs=RngRegistry(seed),
+            max_rounds=1000,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, group_size=n)
+        incompleteness += report.mean_incompleteness
+    return incompleteness / runs
+
+
+def test_latency_jitter(benchmark, record_figure):
+    """Section 2 allows a fully asynchronous network; the paper simulates
+    fixed unit latency.  Check the protocol degrades gracefully when
+    delivery latency becomes stochastic (mean extra delay in rounds)."""
+
+    def build():
+        table = TableResult(
+            title="Tolerance to stochastic delivery latency (N=200)",
+            headers=["mean extra latency", "incompleteness"],
+        )
+        values = {}
+        for extra in (0.0, 0.5, 1.0, 2.0):
+            values[extra] = _jitter_row(extra)
+            table.rows.append([extra, values[extra]])
+        return table, values
+
+    table, values = benchmark.pedantic(build, iterations=1, rounds=1)
+    record_figure(table, name="ext_latency_jitter")
+
+    # Unit latency baseline is near-perfect; delays eat into each phase's
+    # effective rounds, so degradation happens — gracefully, not a cliff.
+    assert values[0.0] < 0.01
+    assert values[0.5] < 0.1
+    assert values[2.0] < 0.8

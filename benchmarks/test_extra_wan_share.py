@@ -1,0 +1,112 @@
+"""Extra I: topologically aware hashing cuts expensive-link load.
+
+Section 6.1's load argument: with a topology-aware hash, the O(N)
+messages of early phases travel short distances, and only the (much
+fewer) late-phase messages cross the wide area.  Measured two ways:
+
+* Internet setting — hosts in CIDR sites over a LAN/site/WAN domain
+  network; compare the WAN share of traffic under a fair vs CIDR hash.
+* Ad-hoc setting — sensors on terrain; compare mean hop count of
+  phase-1 gossip pairs under a fair vs position-aware hash.
+"""
+
+import numpy as np
+
+from conftest import run_figure
+
+from repro.core import (
+    CidrHash,
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    TopologicalHash,
+    build_hierarchical_gossip_group,
+    get_aggregate,
+    measure_completeness,
+)
+from repro.experiments.reporting import TableResult
+from repro.sim import RngRegistry, SimulationEngine
+from repro.topology.adhoc import AdHocNetwork
+from repro.topology.field import SensorField
+from repro.topology.internet import DomainNetwork, InternetGroup
+
+
+def _internet_wan_share(hash_function, seed=0):
+    group = InternetGroup(sites=16, hosts_per_site=16)
+    votes = {a: 1.0 for a in group.addresses}
+    assignment = GridAssignment(
+        GridBoxHierarchy(len(votes), 4), votes, hash_function
+    )
+    processes = build_hierarchical_gossip_group(
+        votes, get_aggregate("average"), assignment,
+        GossipParams(rounds_factor_c=1.5),
+    )
+    network = DomainNetwork(group, max_message_size=1 << 20)
+    engine = SimulationEngine(
+        network=network, rngs=RngRegistry(seed), max_rounds=500
+    )
+    engine.add_processes(processes)
+    engine.run()
+    report = measure_completeness(processes, len(votes))
+    return (
+        network.wan_messages / max(1, network.stats.sent),
+        report.mean_completeness,
+    )
+
+
+def _adhoc_phase1_hops(hash_function, field, radio):
+    votes = {m: 1.0 for m in field.positions}
+    assignment = GridAssignment(
+        GridBoxHierarchy(len(votes), 4), votes, hash_function
+    )
+    distances = []
+    for member in votes:
+        for peer in assignment.peers_in_subtree(member, 1, list(votes)):
+            hops = radio.hops(member, peer)
+            if hops is not None:
+                distances.append(hops)
+    return sum(distances) / max(1, len(distances))
+
+
+def test_wan_share(benchmark, record_figure):
+    def build():
+        table = TableResult(
+            title="Topology-aware hashing vs expensive-link load",
+            headers=["setting", "hash", "metric", "value", "completeness"],
+        )
+        fair_share, fair_completeness = _internet_wan_share(FairHash(2))
+        cidr_share, cidr_completeness = _internet_wan_share(CidrHash(32))
+        table.rows.append(
+            ["internet", "fair", "WAN share", fair_share, fair_completeness]
+        )
+        table.rows.append(
+            ["internet", "cidr", "WAN share", cidr_share, cidr_completeness]
+        )
+
+        rng = np.random.default_rng(1)
+        field = SensorField.uniform_random(128, rng)
+        radio = AdHocNetwork(field.positions, radius=0.25)
+        fair_hops = _adhoc_phase1_hops(FairHash(0), field, radio)
+        topo_hops = _adhoc_phase1_hops(
+            TopologicalHash(field.positions, 4), field, radio
+        )
+        table.rows.append(
+            ["ad-hoc", "fair", "phase-1 mean hops", fair_hops, float("nan")]
+        )
+        table.rows.append(
+            ["ad-hoc", "topo", "phase-1 mean hops", topo_hops, float("nan")]
+        )
+        return table, (fair_share, cidr_share, fair_hops, topo_hops,
+                       cidr_completeness)
+
+    table, values = benchmark.pedantic(build, iterations=1, rounds=1)
+    record_figure(table, name="extra_wan_share")
+    fair_share, cidr_share, fair_hops, topo_hops, cidr_completeness = values
+
+    # CIDR-aware grid boxes cut the WAN share substantially without
+    # hurting completeness.
+    assert cidr_share < 0.8 * fair_share
+    assert cidr_completeness > 0.99
+    # Position-aware boxes cut phase-1 hop distance by at least 2x.
+    assert topo_hops < fair_hops / 2

@@ -1,0 +1,29 @@
+"""Figure 4 reproduction: analytic phase-1 incompleteness vs N.
+
+Paper claim: at K=2, b=4, ``-log(1 - C_1)`` grows linearly in ``log N``
+and the curve sits below the ``1/N`` line — the basis of Postulate 1.
+"""
+
+from conftest import run_figure
+
+from repro.analysis.stats import loglog_slope
+from repro.experiments.figures import fig4_phase1_analysis
+
+
+def test_fig4_phase1_analysis(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, fig4_phase1_analysis, n_values=(1000, 2000, 4000, 8000)
+    )
+    record_figure(figure)
+    measured, reference = figure.series
+
+    # Claim 1: measured incompleteness below the 1/N reference everywhere.
+    for value, bound in zip(measured.ys, reference.ys):
+        assert value <= bound
+
+    # Claim 2: log-log linear fall (a power law steeper than 1/N).
+    slope = loglog_slope(measured.xs, measured.ys)
+    assert slope <= -1.0
+
+    # Claim 3: strictly improving with N.
+    assert all(a > b for a, b in zip(measured.ys, measured.ys[1:]))

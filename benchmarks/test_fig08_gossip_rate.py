@@ -1,0 +1,25 @@
+"""Figure 8 reproduction: incompleteness vs gossip rounds per phase.
+
+Paper claim ("Effect of gossip rate"): with M fixed, the incompleteness
+falls exponentially with the number of gossip rounds per phase.
+"""
+
+from conftest import run_figure
+
+from repro.analysis.stats import is_monotone, semilog_slope
+from repro.experiments.figures import fig8_gossip_rate
+
+
+def test_fig8_gossip_rate(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, fig8_gossip_rate, round_values=(1, 2, 3, 4, 5), runs=30
+    )
+    record_figure(figure)
+    series = figure.primary()
+
+    # Claim 1: incompleteness falls monotonically with phase length.
+    assert is_monotone(series.ys, increasing=False, tolerance=0.1)
+    # Claim 2: the fall is exponential (steep negative semilog slope) and
+    # spans orders of magnitude across the sweep.
+    assert semilog_slope(series.xs, series.ys, floor=1e-7) < -1.0
+    assert series.ys[-1] < series.ys[0] / 100

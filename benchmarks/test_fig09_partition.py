@@ -1,0 +1,30 @@
+"""Figure 9 reproduction: incompleteness under a soft network partition.
+
+Paper claim ("Fault-tolerance 2"): with the group split into two halves
+and cross-partition messages dropped with probability ``partl``, the
+protocol's completeness degrades *gracefully* (no cliff) as partl rises
+from 0.5 to 0.7.
+"""
+
+from conftest import run_figure
+
+from repro.analysis.stats import is_monotone
+from repro.experiments.figures import fig9_partition
+
+PARTL_VALUES = (0.5, 0.55, 0.6, 0.65, 0.7)
+
+
+def test_fig9_partition(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, fig9_partition, partl_values=PARTL_VALUES, runs=40
+    )
+    record_figure(figure)
+    series = figure.primary()
+
+    # Claim 1: degradation is monotone in the partition severity
+    # (tolerantly — the paper's own curve is noisy).
+    assert is_monotone(series.ys, increasing=True, tolerance=0.5)
+    # Claim 2: graceful, not catastrophic: even at partl = 0.7 the
+    # protocol keeps the overwhelming majority of votes (the paper's
+    # worst point is ~1e-2).
+    assert max(series.ys) < 0.1

@@ -1,0 +1,24 @@
+"""Figure 11 reproduction: incompleteness vs N against the 1/N bound.
+
+Paper claim ("Scalability 2"): with C=1.4 and a loss/crash-free network
+(b ~ 1.0, outside Theorem 1's b >= 4 regime) the measured incompleteness
+is still bounded above by 1/N — evidence that Theorem 1 is pessimistic.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig11_theorem_bound
+
+N_VALUES = (300, 400, 500, 600)
+
+
+def test_fig11_theorem_bound(benchmark, record_figure):
+    figure = run_figure(
+        benchmark, fig11_theorem_bound, n_values=N_VALUES, runs=20
+    )
+    record_figure(figure)
+    measured, reference = figure.series
+
+    # Claim: measured incompleteness sits below 1/N at every point.
+    for value, bound in zip(measured.ys, reference.ys):
+        assert value <= bound

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Internet process group with CIDR-aware grid boxes (Section 6.1).
+
+A group of hosts spread across sites: addresses follow a CIDR-style plan
+(one block per site), WAN links are slow and lossy, LAN links fast and
+reliable.  The paper argues a topologically aware hash — here simply the
+address-prefix hash — confines the protocol's O(N) early-phase messages
+to cheap local links, leaving only the few late-phase messages to cross
+the WAN.  We measure exactly that: WAN message share and completeness,
+CIDR-aware vs fair hashing.
+
+Run:  python examples/internet_group.py
+"""
+
+from repro.core import (
+    AverageAggregate,
+    CidrHash,
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    build_hierarchical_gossip_group,
+    measure_completeness,
+)
+from repro.sim import RngRegistry, SimulationEngine
+from repro.topology.internet import DomainNetwork, InternetGroup
+
+
+def run(label, hash_function, group, votes, seed=0):
+    function = AverageAggregate()
+    hierarchy = GridBoxHierarchy(len(votes), k=4)
+    assignment = GridAssignment(hierarchy, votes, hash_function)
+    processes = build_hierarchical_gossip_group(
+        votes, function, assignment, GossipParams(rounds_factor_c=1.5)
+    )
+    network = DomainNetwork(group, max_message_size=1 << 20)
+    engine = SimulationEngine(
+        network=network, rngs=RngRegistry(seed), max_rounds=500
+    )
+    engine.add_processes(processes)
+    engine.run()
+
+    report = measure_completeness(processes, group_size=len(votes))
+    wan_share = network.wan_messages / max(1, network.stats.sent)
+    print(f"== {label} ==")
+    print(f"mean completeness : {report.mean_completeness:.4f}")
+    print(f"messages sent     : {network.stats.sent}")
+    print(f"WAN messages      : {network.wan_messages} ({wan_share:.1%})")
+    print(f"messages lost     : {network.stats.dropped}")
+    print(f"rounds            : {engine.round}")
+    print()
+    return wan_share
+
+
+def main() -> None:
+    group = InternetGroup(sites=16, hosts_per_site=16)
+    print(f"{len(group)} hosts across {group.sites} sites "
+          f"(CIDR blocks of a {group.bits}-bit space)")
+    print()
+
+    # Each host votes its locally observed load; sites differ.
+    votes = {
+        address: 0.3 + 0.04 * group.site_of(address)
+        for address in group.addresses
+    }
+
+    fair_wan = run("fair hash", FairHash(salt=2), group, votes)
+    cidr_wan = run("CIDR-aware hash", CidrHash(bits=group.bits), group, votes)
+
+    print(
+        f"The CIDR-aware hierarchy pushes the WAN share of traffic from "
+        f"{fair_wan:.1%} down to {cidr_wan:.1%}: early phases stay inside "
+        f"sites, exactly as Section 6.1 argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Executable walk-through of the paper's illustrations (Figures 1-3).
+
+Figure 1: eight members {M1..M8} divided into four grid boxes and the
+hierarchy induced from the box addresses.
+Figure 2: the ideal bottom-up aggregate evaluation over that hierarchy.
+Figure 3: the same hierarchy arising from a topologically aware hash over
+sensor positions.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.core import (
+    AverageAggregate,
+    GridAssignment,
+    GridBoxHierarchy,
+    StaticHash,
+    TopologicalHash,
+)
+
+# Figure 1's exact layout: boxes 00, 01, 10, 11.
+FIGURE1_BOXES = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+
+# Figure 3's sensor positions (quadrants of the region).
+FIGURE3_POSITIONS = {
+    7: (0.15, 0.20), 3: (0.30, 0.35), 8: (0.20, 0.45),   # box 00
+    6: (0.15, 0.75), 5: (0.35, 0.85),                     # box 01
+    2: (0.70, 0.20), 4: (0.85, 0.40),                     # box 10
+    1: (0.80, 0.80),                                      # box 11
+}
+
+
+def figure1() -> GridAssignment:
+    print("== Figure 1: Grid Box Hierarchy over 8 members, K=2 ==")
+    hierarchy = GridBoxHierarchy(8, 2)
+    assignment = GridAssignment(
+        hierarchy, FIGURE1_BOXES, StaticHash(FIGURE1_BOXES)
+    )
+    for box in range(hierarchy.num_boxes):
+        members = ", ".join(f"M{m}" for m in assignment.members_of_box(box))
+        print(f"  Grid Box {hierarchy.format_address(box)}: {members}")
+    for phase in (2, 3):
+        groups = {}
+        for member in FIGURE1_BOXES:
+            groups.setdefault(
+                assignment.subtree_of(member, phase), []
+            ).append(member)
+        for subtree, members in sorted(groups.items()):
+            prefix = str(subtree.prefix_value) if subtree.prefix_length else ""
+            stars = "*" * (hierarchy.digits - subtree.prefix_length)
+            label = f"{prefix}{stars}" or "**"
+            print(f"  Subtree {label:>2} (height {phase}): "
+                  + ", ".join(f"M{m}" for m in sorted(members)))
+    print()
+    return assignment
+
+
+def figure2(assignment: GridAssignment) -> None:
+    print("== Figure 2: ideal bottom-up aggregate evaluation ==")
+    function = AverageAggregate()
+    votes = {member: float(member) for member in FIGURE1_BOXES}
+    hierarchy = assignment.hierarchy
+
+    # Phase 1: per-box aggregates.
+    states = {}
+    for box in range(hierarchy.num_boxes):
+        members = assignment.members_of_box(box)
+        states[hierarchy.subtree_of(box, 1)] = function.merge_all(
+            [function.lift(m, votes[m]) for m in members]
+        )
+        names = ",".join(f"M{m}" for m in members)
+        print(f"  Phase 1, box {hierarchy.format_address(box)}: f({names})")
+
+    # Higher phases: compose child subtree aggregates.
+    for phase in range(2, hierarchy.num_phases + 1):
+        next_states = {}
+        parents = {}
+        for subtree, state in states.items():
+            length = subtree.prefix_length - 1
+            parent = type(subtree)(length, subtree.prefix_value
+                                   // hierarchy.k)
+            parents.setdefault(parent, []).append(state)
+        for parent, children in sorted(parents.items()):
+            merged = function.merge_all(children)
+            next_states[parent] = merged
+            names = ",".join(f"M{m}" for m in sorted(merged.members))
+            print(f"  Phase {phase}: f({names})")
+        states = next_states
+
+    (__, final), = states.items()
+    print(f"  Global average = {function.finalize(final):.3f} "
+          f"(true {sum(votes.values()) / len(votes):.3f})")
+    print()
+
+
+def figure3() -> None:
+    print("== Figure 3: topologically aware hash induces the same boxes ==")
+    hierarchy = GridBoxHierarchy(8, 2)
+    topo = TopologicalHash(FIGURE3_POSITIONS, k=2)
+    assignment = GridAssignment(hierarchy, FIGURE3_POSITIONS, topo)
+    for box in range(hierarchy.num_boxes):
+        members = ", ".join(
+            f"M{m}" for m in sorted(assignment.members_of_box(box))
+        )
+        print(f"  Grid Box {hierarchy.format_address(box)}: {members}")
+    print()
+
+
+def main() -> None:
+    assignment = figure1()
+    figure2(assignment)
+    figure3()
+
+
+if __name__ == "__main__":
+    main()

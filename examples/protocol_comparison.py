@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Internet process group: compare every aggregation protocol head-on.
+
+Reproduces the paper's argument (Sections 4-6) as a runnable experiment:
+the fully distributed, centralized, leader-election and flat-gossip
+baselines against Hierarchical Gossiping, all over the same lossy
+crash-prone network, on the paper's three metrics — message complexity,
+time complexity, completeness.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.experiments.figures import baseline_comparison
+
+
+def main() -> None:
+    print("Paper defaults: N=200, ucastl=0.25, pf=0.001")
+    table = baseline_comparison(n=200, runs=5, ucastl=0.25, pf=0.001)
+    print(table.render())
+    print()
+
+    print("Leader-hostile conditions: pf=0.02 (20x the default crash rate)")
+    table = baseline_comparison(
+        protocols=(
+            "hierarchical_gossip", "centralized", "leader_election",
+        ),
+        n=200, runs=5, ucastl=0.25, pf=0.02,
+    )
+    print(table.render())
+    print()
+
+    print(
+        "Reading the tables: flooding pays O(N^2) messages and still loses\n"
+        "ucastl of every vote; the centralized and leader-election schemes\n"
+        "are cheap but collapse when a leader crashes mid-run; flat gossip\n"
+        "cannot spread N distinct votes in the same round budget. The\n"
+        "hierarchy + gossip combination keeps near-total completeness at\n"
+        "O(N log^2 N) messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works offline without the `wheel` package
+(legacy editable installs need a setup.py; all metadata is in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

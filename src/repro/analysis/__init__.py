@@ -1,0 +1,50 @@
+"""Mathematical analysis (Section 6.3) and statistics helpers."""
+
+from repro.analysis.epidemic import (
+    effective_contact_rate,
+    infected_fraction,
+    logistic_infected,
+    num_phases,
+    phase1_completeness,
+    phase1_postulate_bound,
+    phase_completeness_approx,
+    phase_completeness_bound,
+    theorem1_approx,
+    theorem1_bound,
+)
+from repro.analysis.validation import (
+    discrete_epidemic,
+    epidemic_model_error,
+    simulate_epidemic,
+)
+from repro.analysis.prediction import predict_completeness, predict_incompleteness
+from repro.analysis.stats import (
+    Summary,
+    is_monotone,
+    loglog_slope,
+    semilog_slope,
+    summarize,
+)
+
+__all__ = [
+    "effective_contact_rate",
+    "infected_fraction",
+    "logistic_infected",
+    "num_phases",
+    "phase1_completeness",
+    "phase1_postulate_bound",
+    "phase_completeness_approx",
+    "phase_completeness_bound",
+    "theorem1_approx",
+    "theorem1_bound",
+    "predict_completeness",
+    "predict_incompleteness",
+    "simulate_epidemic",
+    "discrete_epidemic",
+    "epidemic_model_error",
+    "Summary",
+    "is_monotone",
+    "loglog_slope",
+    "semilog_slope",
+    "summarize",
+]

@@ -1,0 +1,26 @@
+"""Baseline aggregation protocols the paper argues against (Sections 4-6.2)
+plus a flat-gossip comparator."""
+
+from repro.baselines.centralized import CentralizedProcess, build_centralized_group
+from repro.baselines.flat_gossip import (
+    FlatGossipMessage,
+    FlatGossipProcess,
+    build_flat_gossip_group,
+)
+from repro.baselines.flood import FloodProcess, build_flood_group
+from repro.baselines.leader_election import (
+    LeaderElectionProcess,
+    build_leader_election_group,
+)
+
+__all__ = [
+    "CentralizedProcess",
+    "build_centralized_group",
+    "FlatGossipMessage",
+    "FlatGossipProcess",
+    "build_flat_gossip_group",
+    "FloodProcess",
+    "build_flood_group",
+    "LeaderElectionProcess",
+    "build_leader_election_group",
+]

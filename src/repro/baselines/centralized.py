@@ -1,0 +1,143 @@
+"""Centralized leader / committee baseline (paper Section 5).
+
+Each member unicasts its vote to a well-known leader (or to each member of
+a small leader committee).  A leader composes the votes it receives during
+a collection window sized to the leader's bandwidth (message implosion
+makes this window O(N)), then disseminates the result to the whole group,
+again bandwidth-limited.
+
+Message complexity is an optimal O(N·committee), but the scheme's fragility
+is exactly what the paper criticises: a leader that crashes mid-run takes
+every vote it has collected with it, and a committee of size ``V`` only
+tolerates ``V - 1`` such crashes.  Members adopt the first dissemination
+they receive; members that never hear back finish with only their own vote.
+
+To avoid synchronized implosion (and to respect the per-member bandwidth
+cap), member ``j`` sends its vote in round ``rank(j) // leader_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.core.messages import Dissemination, VoteReport
+from repro.core.protocol import AggregationProcess
+from repro.sim.engine import Context
+from repro.sim.network import Message
+
+__all__ = ["CentralizedProcess", "build_centralized_group"]
+
+
+class CentralizedProcess(AggregationProcess):
+    """A member of the centralized protocol; leaders are ordinary members
+    with extra duties."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        leaders: Sequence[int],
+        member_rank: int,
+        group_size: int,
+        leader_bandwidth: int = 10,
+        drain_rounds: int = 3,
+    ):
+        super().__init__(node_id, vote, function)
+        if not leaders:
+            raise ValueError("need at least one leader")
+        if leader_bandwidth < 1:
+            raise ValueError("leader_bandwidth must be >= 1")
+        self.leaders = tuple(leaders)
+        self.member_rank = member_rank
+        self.group_size = group_size
+        self.leader_bandwidth = leader_bandwidth
+        self.is_leader = node_id in self.leaders
+        #: Round at which this member reports its vote (staggers implosion).
+        self.report_round = member_rank // leader_bandwidth
+        #: Leaders stop collecting here and start disseminating.
+        self.collect_until = (
+            (group_size + leader_bandwidth - 1) // leader_bandwidth
+            + drain_rounds
+        )
+        self.collected: dict[int, AggregateState] = {}
+        self._reported = False
+        self._broadcast_order: list[int] = []
+        self._next_dissemination = 0
+
+    def on_start(self, ctx: Context) -> None:
+        self.collected = {self.node_id: self.own_state()}
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, VoteReport) and self.is_leader:
+            self.collected.setdefault(payload.member_id, payload.state)
+        elif isinstance(payload, Dissemination) and self.result is None:
+            self.result = payload.state
+            ctx.terminate()
+
+    def _report_vote(self, ctx: Context) -> None:
+        report = VoteReport(self.node_id, self.own_state())
+        for leader in self.leaders:
+            if leader != self.node_id:
+                ctx.send(leader, report, size=report.wire_size())
+        self._reported = True
+
+    def _disseminate(self, ctx: Context) -> bool:
+        """Push the composed result out; returns True when finished."""
+        if not self._broadcast_order:
+            self._broadcast_order = [
+                member for member in range(self.group_size)
+                if member != self.node_id
+            ]
+            self.result = self.function.merge_all(list(self.collected.values()))
+        packet = Dissemination(self.result)
+        window = self._broadcast_order[
+            self._next_dissemination : self._next_dissemination
+            + self.leader_bandwidth
+        ]
+        for member in window:
+            ctx.send(member, packet, size=packet.wire_size())
+        self._next_dissemination += len(window)
+        return self._next_dissemination >= len(self._broadcast_order)
+
+    def on_round(self, ctx: Context) -> None:
+        if not self._reported and ctx.round >= self.report_round:
+            self._report_vote(ctx)
+        if self.is_leader:
+            if ctx.round >= self.collect_until and self._disseminate(ctx):
+                ctx.terminate()
+        elif self.result is not None:
+            ctx.terminate()
+        elif ctx.round > 2 * self.collect_until + self.group_size:
+            # Leader(s) evidently dead: give up with only the local vote.
+            self.result = self.own_state()
+            ctx.terminate()
+
+
+def build_centralized_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    committee_size: int = 1,
+    leader_bandwidth: int = 10,
+) -> list[CentralizedProcess]:
+    """Centralized protocol with the first ``committee_size`` ids as leaders.
+
+    Node ids are assumed dense ``0..N-1`` here (the baseline needs a
+    well-known leader identity; rank doubles as the implosion stagger).
+    """
+    member_ids = sorted(votes)
+    leaders = member_ids[:committee_size]
+    return [
+        CentralizedProcess(
+            node_id=member_id,
+            vote=votes[member_id],
+            function=function,
+            leaders=leaders,
+            member_rank=rank,
+            group_size=len(member_ids),
+            leader_bandwidth=leader_bandwidth,
+        )
+        for rank, member_id in enumerate(member_ids)
+    ]

@@ -1,0 +1,118 @@
+"""Flat (non-hierarchical) gossip comparator.
+
+Not one of the paper's named baselines, but the obvious alternative its
+hierarchy must beat: gossip the individual votes directly in the *whole*
+group, with no Grid Box Hierarchy.  Two variants:
+
+* ``full_state=False`` (default) — each round a member pushes one randomly
+  chosen known ``(id, vote)`` pair to ``fanout`` random peers.  Message
+  size stays O(1), but N distinct values must each spread epidemically
+  through N members, so within the same round budget as Hierarchical
+  Gossiping its completeness collapses as N grows (coupon-collector
+  effect).  This isolates the value of aggregating *en route*.
+* ``full_state=True`` — anti-entropy style: a member pushes its entire
+  known vote map.  Completeness is excellent but each message carries up
+  to N votes, violating the constant-message-size constraint of Section 2
+  — the network's ``max_message_size`` must be raised to even run it, and
+  the measured ``bytes_sent`` shows the blow-up.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.core.messages import ID_SIZE
+from repro.core.protocol import AggregationProcess
+from repro.sim.engine import Context
+from repro.sim.network import Message
+
+__all__ = ["FlatGossipMessage", "FlatGossipProcess", "build_flat_gossip_group"]
+
+
+@dataclass(frozen=True)
+class FlatGossipMessage:
+    """A batch of known votes (singleton unless ``full_state``)."""
+
+    votes: tuple[tuple[int, AggregateState], ...]
+
+    def wire_size(self) -> int:
+        return sum(
+            ID_SIZE + state.wire_size() for __, state in self.votes
+        ) or ID_SIZE
+
+
+class FlatGossipProcess(AggregationProcess):
+    """One member of the flat gossip protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        view: Iterable[int],
+        total_rounds: int,
+        fanout: int = 2,
+        full_state: bool = False,
+    ):
+        super().__init__(node_id, vote, function)
+        if total_rounds < 1:
+            raise ValueError("total_rounds must be >= 1")
+        self.peers = [peer for peer in view if peer != node_id]
+        self.total_rounds = total_rounds
+        self.fanout = fanout
+        self.full_state = full_state
+        self.known: dict[int, AggregateState] = {}
+        self._rounds_done = 0
+
+    def on_start(self, ctx: Context) -> None:
+        self.known = {self.node_id: self.own_state()}
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, FlatGossipMessage):
+            for member_id, state in payload.votes:
+                self.known.setdefault(member_id, state)
+
+    def on_round(self, ctx: Context) -> None:
+        if self.peers and self.known:
+            rng = ctx.rng_for("gossip")
+            count = min(self.fanout, len(self.peers))
+            gossipees = rng.choice(len(self.peers), size=count, replace=False)
+            keys = list(self.known)
+            for index in gossipees:
+                if self.full_state:
+                    batch = tuple(self.known.items())
+                else:
+                    key = keys[rng.integers(len(keys))]
+                    batch = ((key, self.known[key]),)
+                packet = FlatGossipMessage(batch)
+                ctx.send(self.peers[index], packet, size=packet.wire_size())
+        self._rounds_done += 1
+        if self._rounds_done >= self.total_rounds:
+            self.result = self.function.merge_all(list(self.known.values()))
+            ctx.terminate()
+
+
+def build_flat_gossip_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    total_rounds: int,
+    fanout: int = 2,
+    full_state: bool = False,
+) -> list[FlatGossipProcess]:
+    """One flat-gossip process per member, complete views."""
+    member_ids = tuple(votes)
+    return [
+        FlatGossipProcess(
+            node_id=member_id,
+            vote=vote,
+            function=function,
+            view=member_ids,
+            total_rounds=total_rounds,
+            fanout=fanout,
+            full_state=full_state,
+        )
+        for member_id, vote in votes.items()
+    ]

@@ -1,0 +1,94 @@
+"""Fully distributed baseline (paper Section 4).
+
+Every member sends its vote to every other member and aggregates whatever
+it receives.  Because each member's bandwidth is bounded, the N-1 unicasts
+are spread over rounds at ``fanout`` sends per round, so the protocol's
+time complexity is O(N); message complexity is O(N^2); and completeness
+at a member is limited by the raw message delivery rate — each vote
+arrives with probability about ``1 - ucastl``, with no second chances.
+
+After its send schedule completes, a member lingers ``drain_rounds``
+additional rounds to absorb stragglers (network latency), then finalizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.core.messages import VoteReport
+from repro.core.protocol import AggregationProcess
+from repro.sim.engine import Context
+from repro.sim.network import Message
+
+__all__ = ["FloodProcess", "build_flood_group"]
+
+
+class FloodProcess(AggregationProcess):
+    """One member of the all-to-all flooding protocol."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        view: Iterable[int],
+        fanout: int = 2,
+        drain_rounds: int = 2,
+    ):
+        super().__init__(node_id, vote, function)
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.targets = [peer for peer in view if peer != node_id]
+        self.fanout = fanout
+        self.drain_rounds = drain_rounds
+        self._next_target = 0
+        self._drained = 0
+        self.received: dict[int, AggregateState] = {}
+
+    def on_start(self, ctx: Context) -> None:
+        self.received = {self.node_id: self.own_state()}
+        # Randomize send order so loss doesn't systematically bias the
+        # same members' votes across the group.
+        ctx.rng_for("send-order").shuffle(self.targets)
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, VoteReport):
+            self.received.setdefault(payload.member_id, payload.state)
+
+    def on_round(self, ctx: Context) -> None:
+        if self._next_target < len(self.targets):
+            batch = self.targets[
+                self._next_target : self._next_target + self.fanout
+            ]
+            report = VoteReport(self.node_id, self.own_state())
+            for target in batch:
+                ctx.send(target, report, size=report.wire_size())
+            self._next_target += len(batch)
+            return
+        self._drained += 1
+        if self._drained > self.drain_rounds:
+            self.result = self.function.merge_all(list(self.received.values()))
+            ctx.terminate()
+
+
+def build_flood_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    fanout: int = 2,
+    drain_rounds: int = 2,
+) -> list[FloodProcess]:
+    """One flooding process per member, complete views."""
+    member_ids = tuple(votes)
+    return [
+        FloodProcess(
+            node_id=member_id,
+            vote=vote,
+            function=function,
+            view=member_ids,
+            fanout=fanout,
+            drain_rounds=drain_rounds,
+        )
+        for member_id, vote in votes.items()
+    ]

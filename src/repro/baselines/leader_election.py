@@ -1,0 +1,231 @@
+"""Hierarchical leader-election baseline (paper Section 6.2).
+
+Aggregation runs bottom-up over the same Grid Box Hierarchy as the gossip
+protocol, but each subtree's aggregate is computed at an elected *leader*
+(or a committee of ``committee_size`` leaders) instead of being gossiped:
+
+* Phase 1 — every member reports its vote to the leader(s) of its grid box.
+* Phase i — the leaders of every height-(i-1) subtree report their
+  composed aggregate to the leaders of the enclosing height-i subtree.
+* After the top phase the root leader(s) hold the global estimate and
+  disseminate it back down the tree, level by level, ending with box
+  leaders pushing it to every box member.
+
+We *idealize* the election itself: with complete consistent views, the
+committee of a subtree is simply its ``committee_size`` smallest member
+ids, known to everyone at no cost.  (The paper argues a real election
+would cost at least O(log N) time per phase or require accurate failure
+detectors — so this baseline is strictly *more* favourable than anything
+implementable.)  Because committees are chosen by member rank, they are
+upward-nested: a height-i leader is also a leader of its own height-j
+subtree for every j < i.
+
+The fragility the paper points out is mechanical here: a height-i leader
+that crashes after composing takes the votes of up to K^i members with it,
+and message loss on a single report loses an entire subtree — there is no
+gossip redundancy.  A committee tolerates ``committee_size - 1`` crashes
+per subtree at a multiplicative message cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.core.gridbox import GridAssignment, SubtreeId
+from repro.core.messages import AggregateReport, Dissemination
+from repro.core.protocol import AggregationProcess
+from repro.sim.engine import Context
+from repro.sim.network import Message
+
+__all__ = ["LeaderElectionProcess", "build_leader_election_group"]
+
+
+class LeaderElectionProcess(AggregationProcess):
+    """One member of the leader-election aggregation baseline."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        assignment: GridAssignment,
+        committee_size: int = 1,
+        rounds_per_phase: int = 2,
+    ):
+        super().__init__(node_id, vote, function)
+        if committee_size < 1:
+            raise ValueError("committee_size must be >= 1")
+        if rounds_per_phase < 2:
+            raise ValueError(
+                "rounds_per_phase must be >= 2 (send + 1-round latency)"
+            )
+        self.assignment = assignment
+        self.committee_size = committee_size
+        self.rounds_per_phase = rounds_per_phase
+        self.num_phases = assignment.hierarchy.num_phases
+        #: Highest phase whose subtree this member leads (0 = only itself).
+        self.leader_height = self._compute_leader_height()
+        #: Current composed aggregate (starts as the member's own vote).
+        self.composed: AggregateState = self.own_state()
+        #: First-received child reports per aggregation phase.
+        self._reports: dict[int, dict[SubtreeId, AggregateState]] = {}
+        self._global: AggregateState | None = None
+        self._sent_dissemination_for: set[int] = set()
+
+    # -- role computation ---------------------------------------------------
+    def _committee(self, phase: int) -> tuple[int, ...]:
+        """The idealized committee of this member's height-``phase`` subtree."""
+        subtree = self.assignment.subtree_of(self.node_id, phase)
+        members = self._subtree_members(subtree)
+        return tuple(sorted(members)[: self.committee_size])
+
+    def _subtree_members(self, subtree: SubtreeId) -> tuple[int, ...]:
+        return self.assignment.members_in_subtree(subtree)
+
+    def _compute_leader_height(self) -> int:
+        height = 0
+        for phase in range(1, self.num_phases + 1):
+            if self.node_id in self._committee(phase):
+                height = phase
+            else:
+                break  # committees are upward-nested
+        return height
+
+    # -- schedule helpers -----------------------------------------------------
+    def _phase_of_round(self, round_number: int) -> tuple[str, int, int]:
+        """Map an absolute round to (stage, phase, offset-within-phase).
+
+        Rounds [0, P*rpp) are aggregation phases 1..P; the next P*rpp
+        rounds are dissemination levels 1..P; afterwards the protocol is
+        in its final deadline stage.
+        """
+        rpp = self.rounds_per_phase
+        phase_index, offset = divmod(round_number, rpp)
+        if phase_index < self.num_phases:
+            return ("aggregate", phase_index + 1, offset)
+        phase_index -= self.num_phases
+        if phase_index < self.num_phases:
+            return ("disseminate", phase_index + 1, offset)
+        return ("done", 0, offset)
+
+    # -- engine callbacks -------------------------------------------------------
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, AggregateReport):
+            length, __ = payload.subtree_key
+            # The child key's prefix length identifies the aggregation
+            # phase this report belongs to (child of a height-i subtree
+            # has prefix length digits + 2 - i).
+            phase = self.assignment.hierarchy.digits + 2 - length
+            bucket = self._reports.setdefault(phase, {})
+            bucket.setdefault(payload.subtree_key, payload.state)
+        elif isinstance(payload, Dissemination):
+            if self._global is None:
+                self._global = payload.state
+
+    def on_round(self, ctx: Context) -> None:
+        stage, phase, offset = self._phase_of_round(ctx.round)
+        if stage == "aggregate":
+            if offset == 0:
+                self._send_report(ctx, phase)
+            if offset == self.rounds_per_phase - 1:
+                self._compose(phase)
+        elif stage == "disseminate":
+            if offset == 0:
+                self._send_dissemination(ctx, phase)
+        else:
+            self.result = (
+                self._global if self._global is not None else self.composed
+            )
+            ctx.terminate()
+
+    # -- aggregation (upward) -----------------------------------------------------
+    def _send_report(self, ctx: Context, phase: int) -> None:
+        """Phase ``phase``: height-(phase-1) leaders report upward."""
+        if self.leader_height < phase - 1:
+            return
+        if phase == 1:
+            # Individual votes get pseudo-keys one level below the boxes.
+            child_key = SubtreeId(
+                self.assignment.hierarchy.digits + 1, self.node_id
+            )
+        else:
+            child_key = self.assignment.subtree_of(self.node_id, phase - 1)
+        report = AggregateReport(child_key, self.composed)
+        for leader in self._committee(phase):
+            if leader == self.node_id:
+                bucket = self._reports.setdefault(phase, {})
+                bucket.setdefault(child_key, self.composed)
+            else:
+                ctx.send(leader, report, size=report.wire_size())
+
+    def _compose(self, phase: int) -> None:
+        """End of phase ``phase``: its leaders fold the child reports."""
+        if self.leader_height < phase:
+            return
+        states = dict(self._reports.get(phase, {}))
+        # Ensure own lineage is represented even if the self-report path
+        # was skipped (e.g. phase-1 leader's own vote).
+        own_key = (
+            SubtreeId(self.assignment.hierarchy.digits + 1, self.node_id)
+            if phase == 1
+            else self.assignment.subtree_of(self.node_id, phase - 1)
+        )
+        states.setdefault(own_key, self.composed)
+        self.composed = self.function.merge_all(list(states.values()))
+
+    # -- dissemination (downward) ----------------------------------------------------
+    def _send_dissemination(self, ctx: Context, level: int) -> None:
+        """Dissemination level ``level`` pushes from height (P - level + 1)
+        leaders to height (P - level) leaders (or box members at the end)."""
+        source_height = self.num_phases - level + 1
+        if self.leader_height < source_height:
+            return
+        if source_height == self.num_phases:
+            # Root committee holds the global estimate by construction.
+            if self._global is None:
+                self._global = self.composed
+        if self._global is None or level in self._sent_dissemination_for:
+            return
+        self._sent_dissemination_for.add(level)
+        packet = Dissemination(self._global)
+        target_height = source_height - 1
+        if target_height >= 1:
+            subtree = self.assignment.subtree_of(self.node_id, source_height)
+            for child in self.assignment.hierarchy.child_subtrees(subtree):
+                for leader in self._committee_of_subtree(child):
+                    if leader != self.node_id:
+                        ctx.send(leader, packet, size=packet.wire_size())
+        else:
+            box_members = self.assignment.members_of_box(
+                self.assignment.box_of(self.node_id)
+            )
+            for member in box_members:
+                if member != self.node_id:
+                    ctx.send(member, packet, size=packet.wire_size())
+
+    def _committee_of_subtree(self, subtree: SubtreeId) -> tuple[int, ...]:
+        members = self._subtree_members(subtree)
+        return tuple(sorted(members)[: self.committee_size])
+
+
+def build_leader_election_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    assignment: GridAssignment,
+    committee_size: int = 1,
+    rounds_per_phase: int = 2,
+) -> list[LeaderElectionProcess]:
+    """One leader-election process per member over ``assignment``."""
+    return [
+        LeaderElectionProcess(
+            node_id=member_id,
+            vote=vote,
+            function=function,
+            assignment=assignment,
+            committee_size=committee_size,
+            rounds_per_phase=rounds_per_phase,
+        )
+        for member_id, vote in votes.items()
+    ]

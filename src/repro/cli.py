@@ -1,0 +1,208 @@
+"""Command-line interface: reproduce any figure or run a one-off aggregation.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig4
+    python -m repro fig7 --runs 10 --csv fig7.csv
+    python -m repro run --n 400 --protocol hierarchical_gossip --ucastl 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.params import with_params
+from repro.experiments.runner import run_once
+
+__all__ = ["main"]
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=200, help="group size")
+    parser.add_argument("--k", type=int, default=4, help="members per box")
+    parser.add_argument("--protocol", default="hierarchical_gossip")
+    parser.add_argument("--ucastl", type=float, default=0.25,
+                        help="unicast loss probability")
+    parser.add_argument("--pf", type=float, default=0.001,
+                        help="per-round crash probability")
+    parser.add_argument("--partl", type=float, default=None,
+                        help="cross-partition loss (enables two-half split)")
+    parser.add_argument("--fanout", type=int, default=2, help="gossip fanout M")
+    parser.add_argument("--c", type=float, default=1.0,
+                        help="rounds-per-phase factor C")
+    parser.add_argument("--aggregate", default="average")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--push-pull", action="store_true",
+                        help="answer gossip with the receiver's state")
+    parser.add_argument("--single-value", action="store_true",
+                        help="strict one-value-per-message protocol text")
+    parser.add_argument("--view-size", type=int, default=None,
+                        help="partial views: members known per member")
+    parser.add_argument("--start-spread", type=int, default=0,
+                        help="multicast-wave start stagger in rounds")
+    parser.add_argument("--n-estimate", type=int, default=None,
+                        help="build the hierarchy for this N estimate")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scalable Fault-Tolerant Aggregation in Large "
+            "Process Groups' (DSN 2001)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    for figure_id in ALL_FIGURES:
+        figure_parser = sub.add_parser(
+            figure_id, help=f"reproduce {figure_id}"
+        )
+        figure_parser.add_argument(
+            "--runs", type=int, default=None,
+            help="simulation runs per point (simulated figures only)",
+        )
+        figure_parser.add_argument(
+            "--seed", type=int, default=None, help="base seed"
+        )
+        figure_parser.add_argument(
+            "--csv", default=None, help="also write the series to this file"
+        )
+
+    run_parser = sub.add_parser("run", help="run one aggregation")
+    _add_run_arguments(run_parser)
+
+    show_parser = sub.add_parser(
+        "show-hierarchy", help="render the Grid Box Hierarchy for a group"
+    )
+    show_parser.add_argument("--n", type=int, default=32)
+    show_parser.add_argument("--k", type=int, default=4)
+    show_parser.add_argument("--salt", type=int, default=0)
+    show_parser.add_argument(
+        "--occupancy", action="store_true",
+        help="also show the box-occupancy histogram",
+    )
+
+    monitor_parser = sub.add_parser(
+        "monitor", help="run a periodic monitoring session"
+    )
+    monitor_parser.add_argument("--n", type=int, default=200)
+    monitor_parser.add_argument("--epochs", type=int, default=5)
+    monitor_parser.add_argument("--ucastl", type=float, default=0.25)
+    monitor_parser.add_argument("--pf", type=float, default=0.001)
+    monitor_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_figure(figure_id: str, args: argparse.Namespace) -> int:
+    figure_fn = ALL_FIGURES[figure_id]
+    kwargs = {}
+    if args.runs is not None:
+        kwargs["runs"] = args.runs
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        result = figure_fn(**kwargs)
+    except TypeError:
+        # Analytic figures take no runs/seed.
+        result = figure_fn()
+    print(result.render())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(result.to_csv())
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    config = with_params(
+        n=args.n,
+        k=args.k,
+        protocol=args.protocol,
+        ucastl=args.ucastl,
+        pf=args.pf,
+        partl=args.partl,
+        fanout_m=args.fanout,
+        rounds_factor_c=args.c,
+        aggregate=args.aggregate,
+        seed=args.seed,
+        push_pull=args.push_pull,
+        batch_values=not args.single_value,
+        view_size=args.view_size,
+        start_spread=args.start_spread,
+        n_estimate=args.n_estimate,
+    )
+    result = run_once(config)
+    print(f"protocol            : {config.protocol}")
+    print(f"group size N        : {config.n}")
+    print(f"true {config.aggregate:<15}: {result.true_value:.6f}")
+    print(f"mean completeness   : {result.completeness:.6f}")
+    print(f"mean incompleteness : {result.incompleteness:.3e}")
+    print(f"mean estimate error : {result.mean_estimate_error:.6f}")
+    print(f"rounds              : {result.rounds}")
+    print(f"messages sent       : {result.messages_sent}")
+    print(f"messages dropped    : {result.messages_dropped}")
+    print(f"crashes             : {result.crashes}")
+    return 0
+
+
+def _show_hierarchy(args: argparse.Namespace) -> int:
+    from repro.core import FairHash, GridAssignment, GridBoxHierarchy
+    from repro.viz import render_box_occupancy, render_hierarchy
+
+    hierarchy = GridBoxHierarchy(args.n, args.k)
+    assignment = GridAssignment(
+        hierarchy, range(args.n), FairHash(salt=args.salt)
+    )
+    print(hierarchy)
+    print(render_hierarchy(assignment))
+    if args.occupancy:
+        print()
+        print(render_box_occupancy(assignment))
+    return 0
+
+
+def _run_monitor(args: argparse.Namespace) -> int:
+    from repro.monitoring import MonitoringSession
+
+    def sample(epoch, members, rng):
+        return {m: 20.0 + epoch + float(rng.normal(0, 1)) for m in members}
+
+    session = MonitoringSession(
+        group_size=args.n, sample_votes=sample,
+        ucastl=args.ucastl, pf=args.pf, seed=args.seed,
+    )
+    print(f"{'epoch':>5} {'alive':>6} {'true':>8} {'estimate':>9} "
+          f"{'completeness':>12} {'msgs':>7}")
+    for result in session.run_epochs(args.epochs):
+        print(
+            f"{result.epoch:>5} {result.group_size:>6} "
+            f"{result.true_value:>8.3f} {result.mean_estimate:>9.3f} "
+            f"{result.mean_completeness:>12.5f} {result.messages:>7}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for figure_id, figure_fn in ALL_FIGURES.items():
+            doc = (figure_fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{figure_id:<14} {doc}")
+        return 0
+    if args.command == "run":
+        return _run_single(args)
+    if args.command == "show-hierarchy":
+        return _show_hierarchy(args)
+    if args.command == "monitor":
+        return _run_monitor(args)
+    return _run_figure(args.command, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

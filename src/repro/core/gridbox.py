@@ -1,0 +1,264 @@
+"""The Grid Box Hierarchy (paper Section 6.1).
+
+The group's ``N`` members are divided into about ``N/K`` *grid boxes*
+(expected ``K`` members each) by a hash function.  Each grid box carries a
+``D``-digit base-``K`` address, where ``D = log_K(N) - 1`` for exact powers
+(we use ``D = max(1, ceil(log_K N) - 1)`` in general).  For
+``1 <= i <= D+1``, the *height-i subtree* containing a box consists of all
+boxes agreeing with it in the most significant ``(D + 1 - i)`` digits:
+
+* height 1  — the box itself (all ``D`` digits agree);
+* height D+1 — the root (no digits need agree), i.e. the whole group.
+
+Aggregation proceeds bottom-up through these subtrees in ``D + 1`` phases
+(``log_K N`` for exact powers), exactly as Figure 2 of the paper shows for
+``N = 8, K = 2``.
+
+:class:`GridBoxHierarchy` is the pure address arithmetic;
+:class:`GridAssignment` binds it to a concrete membership and hash
+function and answers the queries the protocols need ("who shares my
+height-i subtree?", "what are the child prefixes of my phase-i subtree?").
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.hashing import HashFunction
+
+__all__ = ["SubtreeId", "GridBoxHierarchy", "GridAssignment"]
+
+
+class SubtreeId(tuple):
+    """Identifier of a subtree: ``(prefix_length, prefix_value)``.
+
+    ``prefix_value`` is the integer formed by the most significant
+    ``prefix_length`` base-K digits of any member box's address.  A plain
+    tuple subclass so it hashes/compares naturally and is cheap to ship in
+    simulated messages.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, prefix_length: int, prefix_value: int):
+        return super().__new__(cls, (prefix_length, prefix_value))
+
+    @property
+    def prefix_length(self) -> int:
+        return self[0]
+
+    @property
+    def prefix_value(self) -> int:
+        return self[1]
+
+
+class GridBoxHierarchy:
+    """Address arithmetic for the hierarchy over ``num_boxes = K**digits``."""
+
+    def __init__(self, group_size: int, k: int):
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        if k < 2:
+            raise ValueError("K must be at least 2 (paper uses K >= 2)")
+        self.group_size = int(group_size)
+        self.k = int(k)
+        # The paper wants about N/K grid boxes, i.e. (log_K N - 1) address
+        # digits; for non-powers we round log_K(N/K) to the nearest integer
+        # so K**digits stays as close to N/K as the base allows.
+        log_boxes = math.log(max(1.0, self.group_size / self.k), self.k)
+        self.digits = max(1, round(log_boxes))
+        self.num_boxes = self.k ** self.digits
+        #: Number of protocol phases (= log_K N for exact powers of K).
+        self.num_phases = self.digits + 1
+
+    # -- address helpers -------------------------------------------------
+    def check_box(self, box: int) -> None:
+        if not 0 <= box < self.num_boxes:
+            raise ValueError(
+                f"box {box} out of range [0, {self.num_boxes})"
+            )
+
+    def digits_of(self, box: int) -> tuple[int, ...]:
+        """Base-K digits of a box address, most significant first."""
+        self.check_box(box)
+        digits = []
+        for __ in range(self.digits):
+            digits.append(box % self.k)
+            box //= self.k
+        return tuple(reversed(digits))
+
+    def box_from_digits(self, digits: Iterable[int]) -> int:
+        """Inverse of :meth:`digits_of`."""
+        box = 0
+        count = 0
+        for digit in digits:
+            if not 0 <= digit < self.k:
+                raise ValueError(f"digit {digit} out of base-{self.k} range")
+            box = box * self.k + digit
+            count += 1
+        if count != self.digits:
+            raise ValueError(f"expected {self.digits} digits, got {count}")
+        return box
+
+    def format_address(self, box: int) -> str:
+        """Human-readable base-K address string, e.g. ``'01'`` (Figure 1)."""
+        return "".join(str(d) for d in self.digits_of(box))
+
+    # -- subtree structure -------------------------------------------------
+    def check_phase(self, phase: int) -> None:
+        if not 1 <= phase <= self.num_phases:
+            raise ValueError(
+                f"phase {phase} out of range [1, {self.num_phases}]"
+            )
+
+    def prefix_length_at(self, phase: int) -> int:
+        """Digits that must agree within a height-``phase`` subtree."""
+        self.check_phase(phase)
+        return self.digits + 1 - phase
+
+    def subtree_of(self, box: int, phase: int) -> SubtreeId:
+        """The height-``phase`` subtree containing ``box``."""
+        self.check_box(box)
+        length = self.prefix_length_at(phase)
+        return SubtreeId(length, box // (self.k ** (self.digits - length)))
+
+    def child_subtrees(self, subtree: SubtreeId) -> tuple[SubtreeId, ...]:
+        """The K height-(phase-1) children of a height-``phase`` subtree.
+
+        For a height-1 subtree (a grid box) the children are the members
+        themselves, not subtrees; calling this on one is an error.
+        """
+        length, value = subtree
+        if length >= self.digits:
+            raise ValueError("a grid box has member children, not subtrees")
+        return tuple(
+            SubtreeId(length + 1, value * self.k + digit)
+            for digit in range(self.k)
+        )
+
+    def contains(self, subtree: SubtreeId, box: int) -> bool:
+        """Whether ``box`` lies inside ``subtree``."""
+        self.check_box(box)
+        length, value = subtree
+        return box // (self.k ** (self.digits - length)) == value
+
+    def root(self) -> SubtreeId:
+        return SubtreeId(0, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"GridBoxHierarchy(N={self.group_size}, K={self.k}, "
+            f"digits={self.digits}, boxes={self.num_boxes}, "
+            f"phases={self.num_phases})"
+        )
+
+
+class GridAssignment:
+    """Binding of a hierarchy to a membership via a hash function.
+
+    Every member can compute any other member's grid box locally (the hash
+    and ``N`` are well-known), which is what lets the protocol pick
+    phase-appropriate gossipees without coordination.
+    """
+
+    def __init__(
+        self,
+        hierarchy: GridBoxHierarchy,
+        member_ids: Iterable[int],
+        hash_function: HashFunction,
+    ):
+        self.hierarchy = hierarchy
+        self.hash_function = hash_function
+        self._box_of: dict[int, int] = {}
+        self._members_of_box: dict[int, list[int]] = {}
+        for member_id in member_ids:
+            box = hash_function.box_of(member_id, hierarchy.num_boxes)
+            hierarchy.check_box(box)
+            self._box_of[member_id] = box
+            self._members_of_box.setdefault(box, []).append(member_id)
+        # Lazily built per-prefix-length groupings shared by all processes
+        # (performance: avoids per-member subtree scans each round).
+        self._prefix_groups: dict[int, dict[int, tuple[int, ...]]] = {}
+
+    @property
+    def member_ids(self) -> tuple[int, ...]:
+        return tuple(self._box_of)
+
+    def box_of(self, member_id: int) -> int:
+        """Grid box address of a member."""
+        return self._box_of[member_id]
+
+    def has_member(self, member_id: int) -> bool:
+        """Whether this assignment covers ``member_id``."""
+        return member_id in self._box_of
+
+    def members_of_box(self, box: int) -> tuple[int, ...]:
+        """All members hashed into ``box`` (possibly empty)."""
+        return tuple(self._members_of_box.get(box, ()))
+
+    def subtree_of(self, member_id: int, phase: int) -> SubtreeId:
+        """The height-``phase`` subtree a member belongs to."""
+        return self.hierarchy.subtree_of(self.box_of(member_id), phase)
+
+    def peers_in_subtree(
+        self, member_id: int, phase: int, view: Iterable[int]
+    ) -> list[int]:
+        """Members of ``view`` sharing the member's height-``phase`` subtree.
+
+        Excludes the member itself — these are the valid gossipees for
+        phase ``phase`` (paper steps I(a)/II(a)).
+        """
+        subtree = self.subtree_of(member_id, phase)
+        hierarchy = self.hierarchy
+        return [
+            peer
+            for peer in view
+            if peer != member_id
+            and peer in self._box_of
+            and hierarchy.contains(subtree, self._box_of[peer])
+        ]
+
+    def _groups_at(self, prefix_length: int) -> dict[int, tuple[int, ...]]:
+        """Members grouped by their box's ``prefix_length``-digit prefix."""
+        groups = self._prefix_groups.get(prefix_length)
+        if groups is None:
+            shift = self.hierarchy.k ** (self.hierarchy.digits - prefix_length)
+            raw: dict[int, list[int]] = {}
+            for member_id, box in self._box_of.items():
+                raw.setdefault(box // shift, []).append(member_id)
+            groups = {value: tuple(ids) for value, ids in raw.items()}
+            self._prefix_groups[prefix_length] = groups
+        return groups
+
+    def members_in_subtree(self, subtree: SubtreeId) -> tuple[int, ...]:
+        """All members whose grid box lies inside ``subtree``.
+
+        The returned tuple is shared and must not be mutated; it is stable
+        across calls (same object), so processes can cache positions in it.
+        """
+        length, value = subtree
+        return self._groups_at(length).get(value, ())
+
+    def occupied_children(self, subtree: SubtreeId) -> tuple[SubtreeId, ...]:
+        """Child subtrees of ``subtree`` that contain at least one member."""
+        groups = self._groups_at(subtree.prefix_length + 1)
+        return tuple(
+            child
+            for child in self.hierarchy.child_subtrees(subtree)
+            if child.prefix_value in groups
+        )
+
+    def occupied_child_keys(
+        self, member_id: int, phase: int
+    ) -> tuple[SubtreeId, ...] | tuple[int, ...]:
+        """Keys of the child values needed to compose the phase aggregate.
+
+        Phase 1: the member ids inside the member's own grid box (votes are
+        the child values).  Phase i > 1: the child subtrees of the member's
+        height-i subtree that contain at least one member (empty subtrees
+        can never produce an aggregate and must not be waited on).
+        """
+        if phase == 1:
+            return self.members_of_box(self.box_of(member_id))
+        return self.occupied_children(self.subtree_of(member_id, phase))

@@ -1,0 +1,189 @@
+"""Hash functions mapping member identifiers to grid boxes (Section 6.1).
+
+The paper builds the Grid Box Hierarchy from a well-known hash ``H`` that
+maps member identifiers into ``[0, 1]``; a member with identifier ``M_j``
+belongs to the grid box ``H(M_j) * N/K`` (in base-K).  Three constructions
+are provided:
+
+* :class:`FairHash` — the paper's *fair* hash: a salted SHA-256 digest
+  interpreted as a uniform draw from ``[0, 1)``.  Distribution-free: no
+  fixed membership or id universe is assumed.
+* :class:`TopologicalHash` — a *topologically aware* hash in the spirit of
+  the Grid Location Scheme ([12] in the paper): members carry 2-D
+  positions; the plane is recursively split into ``K`` equal-area cells,
+  ``digits`` levels deep, so that nearby members share long address
+  prefixes.  Early protocol phases then only exchange messages between
+  topologically proximate members.
+* :class:`StaticHash` — an explicit member→box table, used to reproduce
+  the paper's worked example (Figures 1-3) exactly and in tests.
+
+All hashes implement ``box_of(member_id, num_boxes) -> int``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Mapping
+
+__all__ = [
+    "HashFunction",
+    "FairHash",
+    "TopologicalHash",
+    "CidrHash",
+    "StaticHash",
+]
+
+
+class HashFunction:
+    """Interface: deterministically place a member id into a grid box."""
+
+    def unit_value(self, member_id: int) -> float:
+        """The paper's ``H(M_j)`` in ``[0, 1)`` (when meaningful)."""
+        raise NotImplementedError
+
+    def box_of(self, member_id: int, num_boxes: int) -> int:
+        """Grid box index in ``[0, num_boxes)`` for this member."""
+        value = self.unit_value(member_id)
+        box = int(value * num_boxes)
+        return min(box, num_boxes - 1)
+
+
+class FairHash(HashFunction):
+    """Uniform hash of the member identifier (salted SHA-256 → [0, 1))."""
+
+    def __init__(self, salt: int = 0):
+        self.salt = int(salt)
+
+    def unit_value(self, member_id: int) -> float:
+        digest = hashlib.sha256(
+            f"{self.salt}:{int(member_id)}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def __repr__(self) -> str:
+        return f"FairHash(salt={self.salt})"
+
+
+class TopologicalHash(HashFunction):
+    """Position-aware hash: recursive equal-area splits of the unit square.
+
+    ``positions`` maps member ids to ``(x, y)`` in ``[0, 1) x [0, 1)``
+    (e.g. GPS coordinates normalised to the deployment region).  At each of
+    ``digits`` levels the current rectangle is cut into ``k`` equal strips
+    across its longer side; the strip index is the next base-``k`` address
+    digit.  For uniformly placed members this yields the paper's required
+    *expected* ``K`` members per box while keeping boxes — and, crucially,
+    whole address-prefix subtrees — geographically contiguous.
+    """
+
+    def __init__(self, positions: Mapping[int, tuple[float, float]], k: int):
+        if k < 2:
+            raise ValueError("K must be at least 2")
+        self.k = int(k)
+        self.positions = dict(positions)
+        for member_id, (x, y) in self.positions.items():
+            if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
+                raise ValueError(
+                    f"position of member {member_id} must lie in "
+                    f"[0,1)x[0,1), got {(x, y)}"
+                )
+
+    def digits_for(self, member_id: int, digits: int) -> tuple[int, ...]:
+        """The base-``k`` address digits for a member, most significant first."""
+        x, y = self.positions[member_id]
+        x0, x1, y0, y1 = 0.0, 1.0, 0.0, 1.0
+        address = []
+        for __ in range(digits):
+            width, height = x1 - x0, y1 - y0
+            if width >= height:
+                strip = width / self.k
+                digit = min(int((x - x0) / strip), self.k - 1)
+                x0 = x0 + digit * strip
+                x1 = x0 + strip
+            else:
+                strip = height / self.k
+                digit = min(int((y - y0) / strip), self.k - 1)
+                y0 = y0 + digit * strip
+                y1 = y0 + strip
+            address.append(digit)
+        return tuple(address)
+
+    def unit_value(self, member_id: int) -> float:
+        # 16 digits is plenty of resolution for any practical num_boxes.
+        value = 0.0
+        scale = 1.0
+        for digit in self.digits_for(member_id, 16):
+            scale /= self.k
+            value += digit * scale
+        return value
+
+    def box_of(self, member_id: int, num_boxes: int) -> int:
+        digits = 0
+        boxes = 1
+        while boxes < num_boxes:
+            boxes *= self.k
+            digits += 1
+        if boxes != num_boxes:
+            raise ValueError(
+                f"num_boxes={num_boxes} is not a power of K={self.k}"
+            )
+        box = 0
+        for digit in self.digits_for(member_id, digits):
+            box = box * self.k + digit
+        return box
+
+    def __repr__(self) -> str:
+        return f"TopologicalHash(k={self.k}, members={len(self.positions)})"
+
+
+class CidrHash(HashFunction):
+    """Address-prefix hash for Internet process groups (Section 6.1).
+
+    The paper observes that CIDR allocation makes IP address prefixes
+    reflect network location: different top-level prefixes for different
+    continents, refined per region.  Treating the member identifier as a
+    ``bits``-wide network address, this hash derives grid-box digits from
+    the most significant bits, so members sharing address prefixes — i.e.
+    topologically close hosts — share grid boxes and whole subtrees.
+
+    Degenerates gracefully: any id distribution that is roughly uniform
+    over the address space yields balanced boxes, while clustered
+    allocations (one /16 per site) yield site-local boxes, which is the
+    point.
+    """
+
+    def __init__(self, bits: int = 32):
+        if not 1 <= bits <= 128:
+            raise ValueError(f"address width must be 1..128 bits, got {bits}")
+        self.bits = bits
+
+    def unit_value(self, member_id: int) -> float:
+        universe = 1 << self.bits
+        address = int(member_id) % universe
+        return address / universe
+
+    def __repr__(self) -> str:
+        return f"CidrHash(bits={self.bits})"
+
+
+class StaticHash(HashFunction):
+    """Explicit member→box table (tests and the paper's Figure 1 example)."""
+
+    def __init__(self, box_table: Mapping[int, int]):
+        self.box_table = dict(box_table)
+
+    def unit_value(self, member_id: int) -> float:
+        raise NotImplementedError(
+            "StaticHash assigns boxes directly; it has no [0,1) value"
+        )
+
+    def box_of(self, member_id: int, num_boxes: int) -> int:
+        box = self.box_table[member_id]
+        if not 0 <= box < num_boxes:
+            raise ValueError(
+                f"static box {box} for member {member_id} out of range"
+            )
+        return box
+
+    def __repr__(self) -> str:
+        return f"StaticHash({len(self.box_table)} members)"

@@ -1,0 +1,492 @@
+"""The Hierarchical Gossiping protocol (paper Section 6.3).
+
+Each member runs ``log_K N`` phases over the Grid Box Hierarchy:
+
+* **Phase 1** — gossip, within the member's own grid box, individual
+  ``(member id, vote)`` pairs: each round the member picks a few gossipees
+  uniformly at random from the box and pushes one randomly selected known
+  vote.  After the phase it composes the known votes into the grid box
+  aggregate.
+* **Phase i > 1** — gossip, within the member's height-``i`` subtree, the
+  aggregates of that subtree's ``K`` height-``(i-1)`` children (of which
+  the member already knows its own from phase ``i-1``).  At most ``K``
+  values circulate, so message size stays O(1).
+* **Bump-up** (step II(b)) — a member advances to phase ``i+1`` as soon as
+  it knows the values of *all* occupied sibling child subtrees, or when
+  the phase times out after ``rounds_per_phase`` gossip rounds.  Members
+  therefore move through phases *asynchronously*; values received for a
+  future phase are buffered, values for a past phase are ignored.
+* **Final phase** — after composing phase ``log_K N`` the member holds its
+  estimate of the global aggregate and terminates.
+
+No leader election, no failure detection, and no acknowledgement traffic;
+robustness comes purely from the epidemic redundancy of gossip.
+
+Complexities (paper): O(log^2 N) rounds, O(N log^2 N) messages, and the
+completeness is lower-bounded by ``1 - 1/N`` for ``K >= 2`` and effective
+contact rate ``b >= 4`` (Theorem 1; see :mod:`repro.analysis.epidemic`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.core.gridbox import GridAssignment
+from repro.core.messages import GossipBatch, GossipValue
+from repro.core.protocol import AggregationProcess
+from repro.sim.engine import Context
+from repro.sim.network import Message
+
+__all__ = [
+    "GossipParams",
+    "HierarchicalGossipProcess",
+    "build_hierarchical_gossip_group",
+    "rounds_per_phase_for",
+]
+
+
+def rounds_per_phase_for(group_size: int, c: float, fanout_m: int = 2) -> int:
+    """Paper Section 7: ``ceil(C * log N)`` gossip rounds per phase.
+
+    All logarithms in the paper are natural (base e); the gossip fanout
+    ``M`` does not change the phase length, only the per-round volume.
+    Floor of 2 for non-trivial groups: with one-round message latency a
+    single-round phase could never deliver anything.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be positive")
+    if c <= 0:
+        raise ValueError("C must be positive")
+    if fanout_m < 1:
+        raise ValueError("fanout must be >= 1")
+    floor = 2 if group_size > 1 else 1
+    return max(floor, math.ceil(c * math.log(group_size)))
+
+
+@dataclass(frozen=True)
+class GossipParams:
+    """Tunable knobs of the protocol, with the paper's Section 7 defaults.
+
+    ``fanout_m`` — gossipees contacted per round (paper's ``M``).
+    ``rounds_factor_c`` — rounds per phase are ``ceil(C log N)``;
+    ``rounds_per_phase`` overrides the formula when set (Figure 8 sweeps
+    it directly).
+    ``early_bump`` — step II(b) asynchronous advancement; disable to force
+    the full timeout every phase (the analysis Section 6.3 assumption; an
+    ablation benchmark compares both).
+    ``batch_values`` — push up to ``max_batch`` of the sender's
+    current-phase values per gossip message instead of exactly one.  This
+    is the default because single-value push cannot reach the
+    incompleteness magnitudes the paper's Figures 6-11 report; ``False``
+    is the strict protocol text (one value per message) — the ablation
+    benchmark quantifies the gap.
+    ``max_batch`` — cap on values per message in batch mode; ``None``
+    means "the hierarchy's K", which keeps every message the same
+    constant size the protocol already needs for its phase-``i>1`` state
+    (at most K child aggregates).  Phase-1 boxes holding more than
+    ``max_batch`` votes push a random subset each round.
+    ``independent_values`` — single-value gossip picks *one* known value
+    per round and pushes it to all ``M`` gossipees (paper literal);
+    setting this picks a fresh random value per gossipee instead
+    (ablation; ignored when ``batch_values``).
+    ``push_pull`` — answer each received (non-reply) same-phase batch
+    with the receiver's own current-phase state.  A classic rumor-
+    mongering strengthening the paper does not use (its protocol is pure
+    push); roughly doubles message volume in exchange for faster
+    convergence — an extension ablation.
+    ``representative_fraction`` — the paper's phase descriptions say
+    "each member M_j (or a representative) evaluates ...": in phases
+    ``i > 1`` only this (hash-selected, deterministic) fraction of each
+    subtree's members actively gossips; everyone still listens and
+    composes.  1.0 (default) = all members gossip, the paper's simulated
+    setting; lower values trade message volume for completeness.
+    ``prefer_coverage`` — when two versions of the same child aggregate
+    circulate (a member that timed out composes an *incomplete* aggregate
+    of the same subtree a complete one exists for), keep the version
+    covering more votes.  The vote count is already on the wire for any
+    count-bearing aggregate (e.g. average), so this costs nothing; the
+    paper's "knows ... when it first receives" first-wins rule is the
+    ablation (``False``).
+    """
+
+    fanout_m: int = 2
+    rounds_factor_c: float = 1.0
+    rounds_per_phase: int | None = None
+    early_bump: bool = True
+    batch_values: bool = True
+    max_batch: int | None = None
+    independent_values: bool = False
+    prefer_coverage: bool = True
+    push_pull: bool = False
+    representative_fraction: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.representative_fraction <= 1.0:
+            raise ValueError(
+                "representative_fraction must be in (0, 1]"
+            )
+
+    def resolve_rounds(self, group_size: int) -> int:
+        if self.rounds_per_phase is not None:
+            if self.rounds_per_phase < 1:
+                raise ValueError("rounds_per_phase must be >= 1")
+            return self.rounds_per_phase
+        return rounds_per_phase_for(
+            group_size, self.rounds_factor_c, self.fanout_m
+        )
+
+
+class HierarchicalGossipProcess(AggregationProcess):
+    """One group member executing Hierarchical Gossiping."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        assignment: GridAssignment,
+        view: Iterable[int],
+        params: GossipParams,
+        start_round: int = 0,
+    ):
+        """``start_round`` models multicast-wave initiation (Section 2):
+        the paper assumes simultaneous start "but our results apply in
+        cases such as a multicast being used for protocol initiation" —
+        a member whose start is delayed buffers incoming gossip and joins
+        when its wave arrives, with its deadline measured from its own
+        start."""
+        super().__init__(node_id, vote, function)
+        self.start_round = int(start_round)
+        self.assignment = assignment
+        self.view = tuple(view)
+        self.params = params
+        self.rounds_per_phase = params.resolve_rounds(
+            assignment.hierarchy.group_size
+        )
+        self.phase = 1
+        self.phase_rounds = 0
+        #: Values known for the current phase, keyed by member id (phase 1)
+        #: or child SubtreeId (later phases).  First received value wins.
+        self.known: dict[object, AggregateState] = {}
+        #: Buffered values for future phases.
+        self._future: dict[int, dict[object, AggregateState]] = {}
+        self._expected_cache: dict[int, frozenset] = {}
+        # Views are subsets of the assignment's membership, so a view as
+        # large as the membership is complete — that unlocks the shared
+        # subtree caches instead of per-member view scans.
+        self._complete_view = len(self.view) >= len(assignment.member_ids)
+        #: phase -> (shared member tuple of my subtree, my index in it);
+        #: index is None for partial views (tuple then excludes me).
+        self._peers_cache: dict[int, tuple[tuple[int, ...], int | None]] = {}
+
+    # -- structure helpers ------------------------------------------------
+    @property
+    def num_phases(self) -> int:
+        return self.assignment.hierarchy.num_phases
+
+    def _expected_keys(self, phase: int) -> frozenset:
+        """Keys whose values this member needs to compose phase ``phase``.
+
+        Computed from the member's *view* (the paper never requires more):
+        phase 1 needs the votes of view members sharing the grid box;
+        later phases need the aggregates of the occupied child subtrees.
+        A member can compute any view member's box locally because the
+        hash function and N are well-known (Section 6.1).
+        """
+        cached = self._expected_cache.get(phase)
+        if cached is not None:
+            return cached
+        assignment = self.assignment
+        if phase == 1:
+            if self._complete_view:
+                keys = set(assignment.members_of_box(
+                    assignment.box_of(self.node_id)
+                ))
+            else:
+                my_box = assignment.box_of(self.node_id)
+                keys = {
+                    peer
+                    for peer in self.view
+                    if assignment.has_member(peer)
+                    and assignment.box_of(peer) == my_box
+                }
+            keys.add(self.node_id)
+        else:
+            subtree = assignment.subtree_of(self.node_id, phase)
+            if self._complete_view:
+                keys = set(assignment.occupied_children(subtree))
+            else:
+                hierarchy = assignment.hierarchy
+                keys = {
+                    child
+                    for child in hierarchy.child_subtrees(subtree)
+                    if any(
+                        assignment.has_member(peer)
+                        and hierarchy.contains(child, assignment.box_of(peer))
+                        for peer in self.view
+                    )
+                }
+            keys.add(assignment.subtree_of(self.node_id, phase - 1))
+        result = frozenset(keys)
+        self._expected_cache[phase] = result
+        return result
+
+    def _peers_for_phase(
+        self, phase: int
+    ) -> tuple[tuple[int, ...], int | None]:
+        """Gossipee pool for ``phase``: (member tuple, own index).
+
+        Complete views share the assignment's subtree tuples (which include
+        this member — ``own index`` lets sampling skip it without copying);
+        partial views materialize a filtered tuple that excludes it.
+        """
+        cached = self._peers_cache.get(phase)
+        if cached is not None:
+            return cached
+        if self._complete_view:
+            pool = self.assignment.members_in_subtree(
+                self.assignment.subtree_of(self.node_id, phase)
+            )
+            result = (pool, pool.index(self.node_id))
+        else:
+            pool = tuple(
+                self.assignment.peers_in_subtree(
+                    self.node_id, phase, self.view
+                )
+            )
+            result = (pool, None)
+        self._peers_cache[phase] = result
+        return result
+
+    # -- engine callbacks ---------------------------------------------------
+    def on_start(self, ctx: Context) -> None:
+        self.known = {self.node_id: self.own_state()}
+        self._start_round = max(ctx.round, self.start_round)
+
+    def _accept(
+        self, bucket: dict[object, AggregateState], key: object,
+        state: AggregateState,
+    ) -> None:
+        """Admit ``state`` for ``key``: most-complete version wins (or the
+        first received, under the ``prefer_coverage=False`` ablation)."""
+        current = bucket.get(key)
+        if current is None:
+            bucket[key] = state
+        elif self.params.prefer_coverage and state.covers() > current.covers():
+            bucket[key] = state
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if self.result is not None:
+            return
+        if isinstance(payload, GossipValue):
+            entries: tuple = ((payload.key, payload.state),)
+            phase = payload.phase
+        elif isinstance(payload, GossipBatch):
+            entries = payload.entries
+            phase = payload.phase
+            if (
+                self.params.push_pull
+                and not payload.reply
+                and phase == self.phase
+                and self.known
+            ):
+                answer = GossipBatch(
+                    self.phase, self._batch_entries(None), reply=True
+                )
+                ctx.send(message.src, answer, size=answer.wire_size())
+        else:
+            return
+        if phase < self.phase:
+            return  # stale: that phase is already composed here
+        bucket = (
+            self.known
+            if phase == self.phase
+            else self._future.setdefault(phase, {})
+        )
+        for key, state in entries:
+            self._accept(bucket, key, state)
+
+    def on_round(self, ctx: Context) -> None:
+        if self.result is not None or ctx.round < self.start_round:
+            return
+        self._gossip(ctx)
+        self.phase_rounds += 1
+        self._maybe_advance(ctx)
+
+    def _deadline_reached(self, ctx: Context) -> bool:
+        """Global protocol deadline: ``log_K N`` phases of full length.
+
+        Members advance through intermediate phases asynchronously (early
+        bump-up), but everyone serves the *final* phase until this shared
+        deadline — an early finisher that went silent would starve
+        stragglers (whole sibling subtrees arrive late together, since
+        members of a slow subtree share their slow phases).  The deadline
+        equals the synchronous schedule's end, so time complexity is
+        unchanged: O(log^2 N) rounds.
+        """
+        elapsed = ctx.round - self._start_round + 1
+        return elapsed >= self.num_phases * self.rounds_per_phase
+
+    # -- protocol steps -------------------------------------------------------
+    def _batch_entries(
+        self, rng
+    ) -> tuple[tuple[object, AggregateState], ...]:
+        """Up to ``max_batch`` current-phase values for one message.
+
+        A random subset when over the cap (given an rng); the first
+        ``cap`` entries otherwise (push-pull replies, which need no
+        randomness — the requester asked for whatever we have).
+        """
+        cap = self.params.max_batch or self.assignment.hierarchy.k
+        entries = list(self.known.items())
+        if len(entries) > cap:
+            if rng is not None:
+                subset = rng.choice(len(entries), size=cap, replace=False)
+                entries = [entries[int(i)] for i in subset]
+            else:
+                entries = entries[:cap]
+        return tuple(entries)
+
+    def _is_representative(self) -> bool:
+        """Whether this member actively gossips in the current phase.
+
+        Phase 1 always gossips (votes exist nowhere else); in later
+        phases a deterministic hash of (member, phase) selects the
+        configured fraction — deterministic so the role is stable for
+        the whole phase and consistent across runs with the same seed.
+        """
+        fraction = self.params.representative_fraction
+        if fraction >= 1.0 or self.phase == 1:
+            return True
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"rep:{self.node_id}:{self.phase}".encode()
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < fraction
+
+    def _gossip(self, ctx: Context) -> None:
+        """Steps I(a)/II(a): push one known value to ``M`` random peers."""
+        if not self._is_representative():
+            return
+        pool, own_index = self._peers_for_phase(self.phase)
+        pool_size = len(pool) - (1 if own_index is not None else 0)
+        if pool_size < 1 or not self.known:
+            return
+        rng = ctx.rng_for("gossip")
+        count = min(self.params.fanout_m, pool_size)
+        picks = (
+            rng.choice(pool_size, size=count, replace=False)
+            if count < pool_size
+            else range(pool_size)
+        )
+        if self.params.batch_values:
+            payload: GossipBatch | GossipValue = GossipBatch(
+                self.phase, self._batch_entries(rng)
+            )
+        else:
+            keys = list(self.known)
+            if not self.params.independent_values:
+                chosen = keys[rng.integers(len(keys))]
+        for pick in picks:
+            # Map a draw over the pool-minus-self onto pool indices.
+            index = int(pick)
+            if own_index is not None and index >= own_index:
+                index += 1
+            if not self.params.batch_values:
+                key = (
+                    keys[rng.integers(len(keys))]
+                    if self.params.independent_values
+                    else chosen
+                )
+                payload = GossipValue(self.phase, key, self.known[key])
+            ctx.send(pool[index], payload, size=payload.wire_size())
+
+    def _values_fully_cover(self) -> bool:
+        """Whether every known child value covers its whole subtree.
+
+        Guards the early bump against locking in a *partial* child
+        aggregate (produced by a peer that timed out) when a complete
+        version may still arrive before this phase's timeout.  Only
+        decidable with a complete view; phase-1 values are single votes
+        and are always full.
+        """
+        if self.phase == 1 or not self._complete_view:
+            return True
+        members_in = self.assignment.members_in_subtree
+        return all(
+            state.covers() >= len(members_in(key))
+            for key, state in self.known.items()
+        )
+
+    def _phase_complete(self, ctx: Context) -> bool:
+        # The final phase ends only at the global deadline (see
+        # :meth:`_deadline_reached`): there is no next phase to hurry to,
+        # and staying keeps serving values to stragglers.
+        if self.phase >= self.num_phases:
+            return self._deadline_reached(ctx)
+        # Early bump-up (step II(b)) for intermediate phases.
+        if (
+            self.params.early_bump
+            and self._expected_keys(self.phase) <= set(self.known)
+            and self._values_fully_cover()
+        ):
+            return True
+        return self.phase_rounds >= self.rounds_per_phase
+
+    def _maybe_advance(self, ctx: Context) -> None:
+        """Step II(b): compose and bump up, cascading if buffers allow."""
+        while self.result is None and self._phase_complete(ctx):
+            composed = self.function.merge_all(list(self.known.values()))
+            completed_subtree = self.assignment.subtree_of(
+                self.node_id, self.phase
+            )
+            self.phase += 1
+            self.phase_rounds = 0
+            if self.phase > self.num_phases:
+                self.result = composed
+                ctx.terminate()
+                return
+            self.known = {completed_subtree: composed}
+            for key, state in self._future.pop(self.phase, {}).items():
+                self._accept(self.known, key, state)
+
+
+def build_hierarchical_gossip_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    assignment: GridAssignment,
+    params: GossipParams | None = None,
+    view_of: Callable[[int], Iterable[int]] | None = None,
+    start_round_of: Callable[[int], int] | None = None,
+) -> list[HierarchicalGossipProcess]:
+    """Create one protocol process per member.
+
+    ``view_of`` defaults to complete views (every member sees the whole
+    vote map's ids), the paper's simulation setting.  ``start_round_of``
+    models multicast-wave initiation: per-member start delays (default:
+    everyone starts at round 0, the paper's simultaneous start).
+    """
+    params = params or GossipParams()
+    member_ids = tuple(votes)
+    if view_of is None:
+        view_of = lambda __: member_ids  # noqa: E731 - trivial default
+    if start_round_of is None:
+        start_round_of = lambda __: 0  # noqa: E731 - trivial default
+    return [
+        HierarchicalGossipProcess(
+            node_id=member_id,
+            vote=vote,
+            function=function,
+            assignment=assignment,
+            view=view_of(member_id),
+            params=params,
+            start_round=start_round_of(member_id),
+        )
+        for member_id, vote in votes.items()
+    ]

@@ -1,0 +1,103 @@
+"""Wire message payloads shared by the aggregation protocols.
+
+Every payload knows its abstract ``wire_size`` so the network models can
+enforce the paper's constant-message-size constraint (Section 2).  Sizes
+are in abstract "vote-sized units" scaled by 8 bytes per scalar: an id or
+phase number costs :data:`ID_SIZE` and an aggregate payload costs its
+flattened scalar count — the member-set bookkeeping inside
+:class:`~repro.core.aggregates.AggregateState` is *not* charged (it exists
+only so the simulator can measure completeness and police double
+counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.aggregates import AggregateState
+
+__all__ = [
+    "ID_SIZE",
+    "GossipValue",
+    "GossipBatch",
+    "VoteReport",
+    "AggregateReport",
+    "Dissemination",
+]
+
+#: Abstract size of one identifier / integer field on the wire.
+ID_SIZE = 8
+
+
+@dataclass(frozen=True)
+class GossipValue:
+    """One gossiped value (paper steps I(a)/II(a)).
+
+    ``phase`` is the sender's phase; ``key`` identifies the vote owner
+    (phase 1: a member id) or the child subtree (phase > 1: a
+    :class:`~repro.core.gridbox.SubtreeId`); ``state`` is the partial
+    aggregate (a single lifted vote in phase 1).
+    """
+
+    phase: int
+    key: Any
+    state: AggregateState
+
+    def wire_size(self) -> int:
+        return 2 * ID_SIZE + self.state.wire_size()
+
+
+@dataclass(frozen=True)
+class GossipBatch:
+    """All values the sender holds for its current phase.
+
+    In phases ``i > 1`` a member holds at most ``K`` child aggregates, so
+    the batch stays constant-size; in phase 1 it holds the box's votes —
+    Binomial(N, K/N) many, i.e. expected ``K`` with a light tail.  This is
+    the default gossip payload (the paper's simulator magnitudes are only
+    reachable with state exchange); the strict one-value-per-message
+    protocol text is available via ``GossipParams(batch_values=False)``.
+    """
+
+    phase: int
+    entries: tuple[tuple[Any, AggregateState], ...]
+    #: True for the answer half of a push-pull exchange (never re-answered).
+    reply: bool = False
+
+    def wire_size(self) -> int:
+        return ID_SIZE + sum(
+            ID_SIZE + state.wire_size() for __, state in self.entries
+        )
+
+
+@dataclass(frozen=True)
+class VoteReport:
+    """A raw vote sent to a collector (flooding / centralized baselines)."""
+
+    member_id: int
+    state: AggregateState
+
+    def wire_size(self) -> int:
+        return ID_SIZE + self.state.wire_size()
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """A subtree aggregate reported upward (leader-election baseline)."""
+
+    subtree_key: Any
+    state: AggregateState
+
+    def wire_size(self) -> int:
+        return ID_SIZE + self.state.wire_size()
+
+
+@dataclass(frozen=True)
+class Dissemination:
+    """The final global estimate pushed back out to the group."""
+
+    state: AggregateState
+
+    def wire_size(self) -> int:
+        return self.state.wire_size()

@@ -1,0 +1,127 @@
+"""Common interface for one-shot aggregation protocols.
+
+Every protocol — the paper's Hierarchical Gossiping and all the baselines
+it is compared against — is a set of :class:`AggregationProcess` instances
+(one per member) driven by the simulation engine.  When a process finishes
+it holds a final :class:`~repro.core.aggregates.AggregateState`; the
+completeness of that estimate is the fraction of the group's initial votes
+it covers (Section 2's metric).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.aggregates import AggregateFunction, AggregateState
+from repro.sim.engine import Process
+
+__all__ = ["AggregationProcess", "CompletenessReport", "measure_completeness"]
+
+
+class AggregationProcess(Process):
+    """A group member participating in a one-shot aggregation.
+
+    Subclasses set :attr:`result` when (and only when) they have a final
+    global estimate; a process that crashes first simply leaves it None.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+    ):
+        super().__init__(node_id)
+        # Not coerced: ProductAggregate votes are per-component sequences.
+        self.vote = vote
+        self.function = function
+        #: Final global estimate; None until the protocol finishes here.
+        self.result: AggregateState | None = None
+
+    def own_state(self) -> AggregateState:
+        """This member's vote as a single-member aggregate."""
+        return self.function.lift(self.node_id, self.vote)
+
+    def completeness(self, group_size: int) -> float | None:
+        """Fraction of the initial votes covered by :attr:`result`."""
+        if self.result is None:
+            return None
+        return self.result.covers() / group_size
+
+
+@dataclass
+class CompletenessReport:
+    """Completeness statistics over one finished run (paper's metric).
+
+    Two denominators are reported:
+
+    * **survivor-relative** (``per_member``, the headline used by the
+      figures): the fraction of *surviving* members' votes included in a
+      surviving member's final estimate.  A member that crashed mid-run is
+      no longer part of the group, and counting its inevitably-lost vote
+      would put a floor of about ``pf`` under every curve — the paper's
+      Figure 10 falls far faster than that floor, so its metric must be
+      survivor-relative too.
+    * **initial-relative** (``per_member_initial``): the fraction of all
+      ``N`` initial votes included (crashed members' votes can still count
+      when they were disseminated before the crash).
+    """
+
+    group_size: int
+    survivors: int = 0
+    per_member: dict[int, float] = field(default_factory=dict)
+    per_member_initial: dict[int, float] = field(default_factory=dict)
+    crashed: int = 0
+    unfinished: int = 0
+
+    @property
+    def mean_completeness(self) -> float:
+        """Survivor-relative completeness at a random surviving member.
+
+        A run where *nobody* finished counts as completeness 0.
+        """
+        if not self.per_member:
+            return 0.0
+        return statistics.fmean(self.per_member.values())
+
+    @property
+    def mean_completeness_initial(self) -> float:
+        """Completeness relative to all ``N`` initial votes."""
+        if not self.per_member_initial:
+            return 0.0
+        return statistics.fmean(self.per_member_initial.values())
+
+    @property
+    def mean_incompleteness(self) -> float:
+        return 1.0 - self.mean_completeness
+
+    @property
+    def min_completeness(self) -> float:
+        return min(self.per_member.values(), default=0.0)
+
+
+def measure_completeness(
+    processes: list[AggregationProcess], group_size: int
+) -> CompletenessReport:
+    """Collect the completeness report for a finished run."""
+    report = CompletenessReport(group_size=group_size)
+    survivors = {
+        process.node_id for process in processes if process.alive
+    }
+    report.survivors = len(survivors)
+    for process in processes:
+        if not process.alive:
+            report.crashed += 1
+            continue
+        if process.result is None:
+            report.unfinished += 1
+            continue
+        report.per_member_initial[process.node_id] = (
+            process.result.covers() / group_size
+        )
+        included_survivors = len(process.result.members & survivors)
+        report.per_member[process.node_id] = (
+            included_survivors / len(survivors) if survivors else 0.0
+        )
+    return report

@@ -1,0 +1,72 @@
+"""Canonical experiment parameters from the paper (Section 7).
+
+Unless a figure says otherwise, every simulation point uses::
+
+    N = 200, ucastl = 0.25, pf = 0.001, K = 4, M = 2, C = 1.0
+
+with a fair (not topologically aware) hash, the protocol started
+simultaneously at all members, members progressing through phases
+asynchronously (early bump-up), and crash *without* recovery.  Each
+reported point averages several runs; the paper plots mean
+incompleteness = 1 - completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["RunConfig", "PAPER_DEFAULTS", "with_params"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Full specification of one simulated aggregation run."""
+
+    # Group & hierarchy
+    n: int = 200
+    k: int = 4
+    hash_salt: int = 0
+    # Protocol selection and knobs
+    protocol: str = "hierarchical_gossip"
+    fanout_m: int = 2
+    rounds_factor_c: float = 1.0
+    rounds_per_phase: int | None = None
+    early_bump: bool = True
+    batch_values: bool = True
+    independent_values: bool = False
+    prefer_coverage: bool = True
+    push_pull: bool = False
+    representative_fraction: float = 1.0
+    committee_size: int = 1
+    # Extensions (paper Sections 2 and 6.1 side claims):
+    #: hierarchy sized by this estimate of N instead of the true N
+    #: ("an approximate estimate of N usually suffices").
+    n_estimate: int | None = None
+    #: multicast-initiation model: member start rounds drawn uniformly
+    #: from [0, start_spread] instead of a simultaneous start.
+    start_spread: int = 0
+    #: partial views: each member knows this many members (None = all).
+    view_size: int | None = None
+    # Network & failures
+    ucastl: float = 0.25
+    pf: float = 0.001
+    partl: float | None = None
+    max_message_size: int = 1 << 20
+    max_sends_per_round: int | None = None
+    # Votes & measurement
+    aggregate: str = "average"
+    vote_low: float = 0.0
+    vote_high: float = 100.0
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "RunConfig":
+        return replace(self, seed=seed)
+
+
+#: The Section 7 defaults (the baseline point of Figures 6-10).
+PAPER_DEFAULTS = RunConfig()
+
+
+def with_params(**overrides) -> RunConfig:
+    """A :data:`PAPER_DEFAULTS` variant with the given fields replaced."""
+    return replace(PAPER_DEFAULTS, **overrides)

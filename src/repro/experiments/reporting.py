@@ -1,0 +1,166 @@
+"""Plain-text rendering of experiment results.
+
+The paper's evaluation is eight log-scale plots; this module renders the
+same data as aligned ASCII tables (one row per swept x value) plus an
+optional log-scale ASCII sparkline so shapes are visible in a terminal,
+and writes CSV for anyone who wants real plots.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Series",
+    "FigureResult",
+    "TableResult",
+    "render_table",
+    "render_sparkline",
+]
+
+
+@dataclass
+class Series:
+    """One plotted line: label + x/y value pairs (+ optional CI half-widths)."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+    errors: list[float] | None = None
+
+    def add(self, x: float, y: float, error: float | None = None) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+        if error is not None:
+            if self.errors is None:
+                self.errors = []
+            self.errors.append(error)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: title, axes labels and one or more series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def primary(self) -> Series:
+        if not self.series:
+            raise ValueError(f"{self.figure_id} has no series")
+        return self.series[0]
+
+    def render(self) -> str:
+        """Full text rendering: header, table, sparkline, notes."""
+        parts = [
+            f"== {self.figure_id}: {self.title} ==",
+            render_table(self),
+        ]
+        primary = self.primary()
+        if len(primary.xs) >= 2 and all(y >= 0 for y in primary.ys):
+            parts.append(render_sparkline(primary, self.y_label))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """CSV with one column per series, keyed by x."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([self.x_label] + [s.label for s in self.series])
+        xs = self.primary().xs
+        columns = []
+        for series in self.series:
+            lookup = dict(zip(series.xs, series.ys))
+            columns.append([lookup.get(x, "") for x in xs])
+        for index, x in enumerate(xs):
+            writer.writerow([x] + [column[index] for column in columns])
+        return buffer.getvalue()
+
+
+@dataclass
+class TableResult:
+    """A free-form results table (used by the baseline-comparison extras)."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        cells = [[_format(v) if isinstance(v, (int, float)) else str(v)
+                  for v in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[col]), *(len(row[col]) for row in cells))
+            if cells else len(self.headers[col])
+            for col in range(len(self.headers))
+        ]
+        def fmt(row):
+            return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        lines = [f"== {self.title} ==", fmt(self.headers),
+                 fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in cells)
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+
+def _format(value: float) -> str:
+    if value == 0:
+        return "0"
+    if isinstance(value, float) and (abs(value) < 1e-3 or abs(value) >= 1e5):
+        return f"{value:.3e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.5f}"
+
+
+def render_table(figure: FigureResult) -> str:
+    """Aligned table: x column plus one column per series."""
+    headers = [figure.x_label] + [s.label for s in figure.series]
+    xs = figure.primary().xs
+    rows = []
+    for x in xs:
+        row = [_format(x)]
+        for series in figure.series:
+            lookup = dict(zip(series.xs, series.ys))
+            value = lookup.get(x)
+            row.append("-" if value is None else _format(value))
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    def fmt_row(cells):
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_sparkline(series: Series, y_label: str, width: int = 40) -> str:
+    """Log-scale bar chart of a non-negative series (mirrors the paper's
+    log-y plots): longer bar = larger value; '.' marks zero."""
+    floor = 1e-12
+    logs = [math.log10(max(y, floor)) for y in series.ys]
+    low, high = min(logs), max(logs)
+    span = (high - low) or 1.0
+    lines = [f"log10({y_label}):"]
+    for x, y, value in zip(series.xs, series.ys, logs):
+        bar_length = int(round((value - low) / span * width))
+        bar = "#" * bar_length if y > floor else "."
+        lines.append(f"  {_format(x):>10}  {bar} {_format(y)}")
+    return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Assemble and execute aggregation runs from a :class:`RunConfig`.
+
+This is the glue between the substrate (:mod:`repro.sim`), the hierarchy
+and protocols (:mod:`repro.core`, :mod:`repro.baselines`) and the
+experiment definitions (:mod:`repro.experiments.figures`).  One
+:func:`run_once` builds the whole world — votes, hash, hierarchy, network,
+failure model, one process per member — runs it to completion and returns
+the measurements the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.centralized import build_centralized_group
+from repro.baselines.flat_gossip import build_flat_gossip_group
+from repro.baselines.flood import build_flood_group
+from repro.baselines.leader_election import build_leader_election_group
+from repro.core.aggregates import get_aggregate
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy
+from repro.core.hashing import FairHash
+from repro.core.hierarchical_gossip import (
+    GossipParams,
+    build_hierarchical_gossip_group,
+)
+from repro.core.protocol import (
+    AggregationProcess,
+    CompletenessReport,
+    measure_completeness,
+)
+from repro.experiments.params import RunConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import CrashWithoutRecovery, NoFailures
+from repro.sim.group import GroupMembership, PartialViews
+from repro.sim.network import LossyNetwork, PartitionedNetwork
+from repro.sim.rng import RngRegistry
+
+__all__ = ["RunResult", "run_once", "incompleteness_samples"]
+
+PROTOCOLS = ("hierarchical_gossip", "flood", "centralized",
+             "leader_election", "flat_gossip")
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one finished run."""
+
+    config: RunConfig
+    report: CompletenessReport
+    rounds: int
+    messages_sent: int
+    messages_dropped: int
+    bytes_sent: int
+    crashes: int
+    true_value: float
+    #: Mean absolute error of surviving members' finalized estimates.
+    mean_estimate_error: float
+
+    @property
+    def incompleteness(self) -> float:
+        return self.report.mean_incompleteness
+
+    @property
+    def completeness(self) -> float:
+        return self.report.mean_completeness
+
+    @property
+    def incompleteness_initial(self) -> float:
+        """Incompleteness relative to all N initial votes (crashed
+        members' undelivered votes count against it)."""
+        return 1.0 - self.report.mean_completeness_initial
+
+
+def _make_votes(config: RunConfig, rngs: RngRegistry) -> dict[int, float]:
+    rng = rngs.stream("votes")
+    span = config.vote_high - config.vote_low
+    return {
+        member_id: config.vote_low + span * float(rng.random())
+        for member_id in range(config.n)
+    }
+
+
+def _make_network(config: RunConfig):
+    common = dict(
+        max_message_size=config.max_message_size,
+        max_sends_per_round=config.max_sends_per_round,
+    )
+    if config.partl is not None:
+        half = config.n // 2
+        return PartitionedNetwork(
+            partition_of=lambda node: 0 if node < half else 1,
+            partl=config.partl,
+            ucastl=config.ucastl,
+            **common,
+        )
+    return LossyNetwork(ucastl=config.ucastl, **common)
+
+
+def _make_failures(config: RunConfig):
+    if config.pf <= 0.0:
+        return NoFailures()
+    return CrashWithoutRecovery(pf=config.pf)
+
+
+def _hierarchy_size(config: RunConfig) -> int:
+    """The N the hierarchy is built for (possibly just an estimate)."""
+    return config.n_estimate if config.n_estimate is not None else config.n
+
+
+def _gossip_round_budget(config: RunConfig) -> tuple[int, int]:
+    """(rounds per phase, number of phases) for the configured hierarchy."""
+    hierarchy = GridBoxHierarchy(_hierarchy_size(config), config.k)
+    params = GossipParams(
+        fanout_m=config.fanout_m,
+        rounds_factor_c=config.rounds_factor_c,
+        rounds_per_phase=config.rounds_per_phase,
+    )
+    return params.resolve_rounds(_hierarchy_size(config)), hierarchy.num_phases
+
+
+def _build_processes(
+    config: RunConfig, votes: dict[int, float], rngs: RngRegistry
+) -> tuple[list[AggregationProcess], int]:
+    """Instantiate the configured protocol; returns (processes, max_rounds)."""
+    function = get_aggregate(config.aggregate)
+    slack = 50
+    if config.protocol in ("hierarchical_gossip", "leader_election"):
+        hierarchy = GridBoxHierarchy(_hierarchy_size(config), config.k)
+        assignment = GridAssignment(
+            hierarchy, votes, FairHash(salt=config.hash_salt)
+        )
+    if config.protocol == "hierarchical_gossip":
+        params = GossipParams(
+            fanout_m=config.fanout_m,
+            rounds_factor_c=config.rounds_factor_c,
+            rounds_per_phase=config.rounds_per_phase,
+            early_bump=config.early_bump,
+            batch_values=config.batch_values,
+            independent_values=config.independent_values,
+            prefer_coverage=config.prefer_coverage,
+            push_pull=config.push_pull,
+            representative_fraction=config.representative_fraction,
+        )
+        view_of = None
+        if config.view_size is not None:
+            membership = GroupMembership(tuple(votes))
+            views = PartialViews(membership, config.view_size, rngs)
+            view_of = views.view_of
+        start_round_of = None
+        if config.start_spread > 0:
+            start_rng = rngs.stream("start-wave")
+            starts = {
+                member: int(start_rng.integers(0, config.start_spread + 1))
+                for member in votes
+            }
+            start_round_of = starts.__getitem__
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, params,
+            view_of=view_of, start_round_of=start_round_of,
+        )
+        rpp, phases = _gossip_round_budget(config)
+        return processes, rpp * phases + config.start_spread + slack
+    if config.protocol == "flood":
+        processes = build_flood_group(votes, function, fanout=config.fanout_m)
+        return processes, math.ceil(config.n / config.fanout_m) + slack
+    if config.protocol == "centralized":
+        processes = build_centralized_group(
+            votes, function, committee_size=config.committee_size
+        )
+        horizon = 2 * processes[0].collect_until + config.n + slack
+        return processes, horizon
+    if config.protocol == "leader_election":
+        processes = build_leader_election_group(
+            votes, function, assignment,
+            committee_size=config.committee_size,
+        )
+        rpp = processes[0].rounds_per_phase
+        return processes, 2 * rpp * hierarchy.num_phases + slack
+    if config.protocol == "flat_gossip":
+        rpp, phases = _gossip_round_budget(config)
+        processes = build_flat_gossip_group(
+            votes, function,
+            total_rounds=rpp * phases,
+            fanout=config.fanout_m,
+        )
+        return processes, rpp * phases + slack
+    raise ValueError(
+        f"unknown protocol {config.protocol!r}; known: {PROTOCOLS}"
+    )
+
+
+def run_once(config: RunConfig) -> RunResult:
+    """Build the configured world, run it to completion, measure it."""
+    rngs = RngRegistry(seed=config.seed)
+    votes = _make_votes(config, rngs)
+    function = get_aggregate(config.aggregate)
+    true_value = function.finalize(function.over(votes))
+    processes, max_rounds = _build_processes(config, votes, rngs)
+    network = _make_network(config)
+    engine = SimulationEngine(
+        network=network,
+        failure_model=_make_failures(config),
+        rngs=rngs,
+        max_rounds=max_rounds,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    report = measure_completeness(processes, group_size=config.n)
+    errors = [
+        abs(process.function.finalize(process.result) - true_value)
+        for process in processes
+        if process.alive and process.result is not None
+    ]
+    return RunResult(
+        config=config,
+        report=report,
+        rounds=engine.stats.rounds_executed,
+        messages_sent=network.stats.sent,
+        messages_dropped=network.stats.dropped,
+        bytes_sent=network.stats.bytes_sent,
+        crashes=engine.stats.crashes,
+        true_value=true_value,
+        mean_estimate_error=(sum(errors) / len(errors)) if errors else
+        float("nan"),
+    )
+
+
+def incompleteness_samples(config: RunConfig, runs: int) -> list[float]:
+    """Mean incompleteness of ``runs`` independent seeded runs."""
+    return [
+        run_once(config.with_seed(config.seed + offset)).incompleteness
+        for offset in range(runs)
+    ]

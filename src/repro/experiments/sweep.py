@@ -1,0 +1,92 @@
+"""Generic parameter sweeps over :class:`RunConfig`.
+
+The figure functions hard-code the paper's sweeps; this module is the
+open-ended version for users exploring their own parameter spaces::
+
+    from repro.experiments.sweep import Sweep
+
+    sweep = Sweep(base=with_params(n=400), runs=10)
+    grid = sweep.grid(ucastl=[0.1, 0.3], k=[2, 4, 8])
+    table = sweep.run(grid)         # TableResult: one row per cell
+    print(table.render())
+
+Each grid cell averages ``runs`` seeded executions and reports the mean
+incompleteness, its confidence half-width, message count and rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.analysis.stats import summarize
+from repro.experiments.params import RunConfig
+from repro.experiments.reporting import TableResult
+from repro.experiments.runner import run_once
+
+__all__ = ["Sweep"]
+
+
+class Sweep:
+    """Run a cartesian grid of config variations and tabulate results."""
+
+    def __init__(self, base: RunConfig, runs: int = 10):
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        self.base = base
+        self.runs = runs
+
+    def grid(self, **axes: Sequence) -> list[dict]:
+        """Cartesian product of the given config-field value lists.
+
+        Axis names must be RunConfig fields; raises early otherwise so a
+        typo doesn't silently sweep nothing.
+        """
+        valid = {f.name for f in dataclasses.fields(RunConfig)}
+        unknown = set(axes) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}"
+            )
+        names = list(axes)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(axes[name] for name in names))
+        ]
+
+    def run_cell(self, overrides: Mapping) -> dict:
+        """Average ``runs`` seeded executions of one configuration."""
+        config = dataclasses.replace(self.base, **overrides)
+        results = [
+            run_once(config.with_seed(config.seed + offset))
+            for offset in range(self.runs)
+        ]
+        incompleteness = summarize([r.incompleteness for r in results])
+        return {
+            **overrides,
+            "incompleteness": incompleteness.mean,
+            "ci_half_width": incompleteness.mean - incompleteness.low,
+            "messages": summarize(
+                [float(r.messages_sent) for r in results]
+            ).mean,
+            "rounds": summarize([float(r.rounds) for r in results]).mean,
+        }
+
+    def run(self, cells: Iterable[Mapping], title: str = "sweep") -> TableResult:
+        """Run every cell and return one table row per cell."""
+        cells = list(cells)
+        if not cells:
+            raise ValueError("no cells to sweep")
+        axis_names = list(cells[0])
+        table = TableResult(
+            title=title,
+            headers=axis_names + [
+                "incompleteness", "ci_half_width", "messages", "rounds",
+            ],
+        )
+        for cell in cells:
+            row = self.run_cell(cell)
+            table.rows.append([row[name] for name in table.headers])
+        return table

@@ -1,0 +1,6 @@
+"""Continuous (Astrolabe-style) aggregation built on the Grid Box
+Hierarchy — the long-lived-MIB mode the paper contrasts itself with."""
+
+from repro.mib.node import MibProcess, MibRow, MibSlice, build_mib_group
+
+__all__ = ["MibProcess", "MibRow", "MibSlice", "build_mib_group"]

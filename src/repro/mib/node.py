@@ -1,0 +1,216 @@
+"""Continuous (Astrolabe-style) aggregation over the Grid Box Hierarchy.
+
+The paper positions its protocol against Astrolabe (related work,
+Section 3): "Astrolabe focuses on maintaining long-lived management
+information bases (MIBs) to answer queries regarding aggregate properties
+at any time, while we focus on a one-shot evaluation."  This module
+implements that *other* mode on the same Grid Box Hierarchy — the natural
+follow-on system the paper's conclusion gestures at:
+
+* Every member maintains a small **MIB**: for each level of its own
+  hierarchy chain, the latest known aggregate of every child subtree
+  (level 1: the votes of its grid-box peers).
+* There are **no phases and no termination**: each round a member gossips
+  one MIB slice per level to a random peer of that level's subtree
+  (O(log N) constant-size messages per member per round, like Astrolabe's
+  per-level gossip).
+* Rows are **versioned**: votes carry the owner's monotonically
+  increasing version; aggregate rows carry the round at which a member of
+  that subtree recomputed them.  Receivers keep the freshest row, so vote
+  *changes* propagate and stale data is overwritten — the property the
+  one-shot protocol does not need but a long-lived MIB cannot live
+  without.
+* A **query** is local: compose the top level's rows, no communication.
+
+Crash semantics match the paper's model: a crashed member's rows simply
+stop refreshing; its last vote persists in the aggregates until group
+reconfiguration (this layer does not do failure detection either).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.aggregates import (
+    AggregateFunction,
+    AggregateState,
+    DoubleCountError,
+)
+from repro.core.gridbox import GridAssignment, SubtreeId
+from repro.core.messages import ID_SIZE
+from repro.sim.engine import Context, Process
+from repro.sim.network import Message
+
+__all__ = ["MibRow", "MibSlice", "MibProcess", "build_mib_group"]
+
+
+@dataclass(frozen=True)
+class MibRow:
+    """One MIB entry: an aggregate (or vote) plus its freshness.
+
+    ``freshness`` is the owner's vote version for level-1 rows and the
+    recomputation round for higher levels; newer always wins.
+    """
+
+    state: AggregateState
+    freshness: int
+
+    def wire_size(self) -> int:
+        return ID_SIZE + self.state.wire_size()
+
+
+@dataclass(frozen=True)
+class MibSlice:
+    """A gossiped slice of one member's MIB for one level."""
+
+    level: int
+    rows: tuple[tuple[Any, MibRow], ...]
+
+    def wire_size(self) -> int:
+        return ID_SIZE + sum(
+            ID_SIZE + row.wire_size() for __, row in self.rows
+        )
+
+
+class MibProcess(Process):
+    """A member maintaining a live hierarchy of aggregates."""
+
+    def __init__(
+        self,
+        node_id: int,
+        vote: float,
+        function: AggregateFunction,
+        assignment: GridAssignment,
+        fanout_m: int = 1,
+    ):
+        super().__init__(node_id)
+        if fanout_m < 1:
+            raise ValueError("fanout must be >= 1")
+        self.function = function
+        self.assignment = assignment
+        self.fanout_m = fanout_m
+        self.version = 0
+        self.vote = vote
+        self.levels = assignment.hierarchy.num_phases
+        #: mib[level] maps a row key (member id at level 1, child
+        #: SubtreeId above) to its freshest known MibRow.
+        self.mib: list[dict[Any, MibRow]] = [
+            {} for __ in range(self.levels + 1)
+        ]
+        self._peer_cache: dict[int, tuple[tuple[int, ...], int]] = {}
+
+    # -- vote management -----------------------------------------------------
+    def set_vote(self, vote: float) -> None:
+        """Update this member's reading; bumps its version."""
+        self.vote = vote
+        self.version += 1
+
+    def _own_row(self) -> MibRow:
+        return MibRow(
+            self.function.lift(self.node_id, self.vote), self.version
+        )
+
+    # -- structure helpers ------------------------------------------------------
+    def _peers_at(self, level: int) -> tuple[tuple[int, ...], int]:
+        cached = self._peer_cache.get(level)
+        if cached is None:
+            pool = self.assignment.members_in_subtree(
+                self.assignment.subtree_of(self.node_id, level)
+            )
+            cached = (pool, pool.index(self.node_id))
+            self._peer_cache[level] = cached
+        return cached
+
+    # -- refresh (local recomputation) -----------------------------------------
+    def _refresh(self, round_number: int) -> None:
+        """Recompute own lineage bottom-up from current rows."""
+        self.mib[1][self.node_id] = self._own_row()
+        for level in range(2, self.levels + 1):
+            own_child = self.assignment.subtree_of(self.node_id, level - 1)
+            rows = self.mib[level - 1]
+            if not rows:
+                continue
+            states = [row.state for row in rows.values()]
+            try:
+                composed = self.function.merge_all(states)
+            except DoubleCountError:  # unreachable: rows are key-disjoint
+                continue
+            self.mib[level][own_child] = MibRow(composed, round_number)
+
+    # -- engine callbacks -----------------------------------------------------------
+    def on_start(self, ctx: Context) -> None:
+        self._refresh(ctx.round)
+
+    def on_round(self, ctx: Context) -> None:
+        self._refresh(ctx.round)
+        rng = ctx.rng_for("mib-gossip")
+        for level in range(1, self.levels + 1):
+            pool, own_index = self._peers_at(level)
+            if len(pool) <= 1:
+                continue
+            rows = self.mib[level]
+            if not rows:
+                continue
+            payload = MibSlice(level, tuple(rows.items()))
+            for __ in range(self.fanout_m):
+                pick = int(rng.integers(len(pool) - 1))
+                if pick >= own_index:
+                    pick += 1
+                ctx.send(pool[pick], payload, size=payload.wire_size())
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, MibSlice):
+            return
+        if not 1 <= payload.level <= self.levels:
+            return
+        bucket = self.mib[payload.level]
+        for key, row in payload.rows:
+            current = bucket.get(key)
+            if current is None or row.freshness > current.freshness:
+                bucket[key] = row
+
+    # -- queries ----------------------------------------------------------------
+    def query(self) -> AggregateState | None:
+        """The current global estimate, composed locally from the MIB."""
+        rows = self.mib[self.levels]
+        if not rows:
+            return None
+        try:
+            return self.function.merge_all(
+                [row.state for row in rows.values()]
+            )
+        except DoubleCountError:  # unreachable: rows are key-disjoint
+            return None
+
+    def query_value(self) -> float | None:
+        state = self.query()
+        return None if state is None else self.function.finalize(state)
+
+    def query_level(self, level: int) -> dict[Any, float]:
+        """Finalized values of every row at a level (inspection)."""
+        return {
+            key: self.function.finalize(row.state)
+            for key, row in self.mib[level].items()
+        }
+
+
+def build_mib_group(
+    votes: dict[int, float],
+    function: AggregateFunction,
+    assignment: GridAssignment,
+    fanout_m: int = 1,
+) -> list[MibProcess]:
+    """One MIB process per member."""
+    return [
+        MibProcess(
+            node_id=member,
+            vote=vote,
+            function=function,
+            assignment=assignment,
+            fanout_m=fanout_m,
+        )
+        for member, vote in votes.items()
+    ]

@@ -1,0 +1,273 @@
+"""Round-based discrete-event simulation engine.
+
+The paper's evaluation (Section 7) simulates a group of processes that
+communicate by unreliable unicast and proceed in *gossip rounds*.  This
+engine reproduces that model:
+
+* Time advances in integer rounds, starting at round 0.
+* Each round, the engine (1) applies the failure model, (2) delivers the
+  messages whose latency expires this round to live processes, and
+  (3) lets every live, unterminated process take a step (``on_round``),
+  during which it may send messages through the network model.
+* Message loss, latency, partitions and per-sender bandwidth caps are
+  delegated to the :class:`~repro.sim.network.Network`.
+* Crash injection is delegated to a
+  :class:`~repro.sim.failures.FailureModel`.
+
+The engine is deterministic given an :class:`~repro.sim.rng.RngRegistry`
+seed: processes must draw all randomness from the streams handed to them.
+
+Processes subclass :class:`Process` and interact with the world only
+through the :class:`Context` passed to their callbacks — they never touch
+the engine or each other directly, which is what makes fault injection and
+message-level accounting trustworthy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.failures import FailureModel, NoFailures
+from repro.sim.network import Message, Network
+from repro.sim.rng import RngRegistry
+from repro.sim.metrics import RoundMetrics
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["Context", "Process", "SimulationEngine", "EngineStats"]
+
+
+class Process:
+    """Base class for a simulated group member.
+
+    Subclasses override the ``on_*`` callbacks.  A process is *live* until
+    it crashes (decided by the failure model) and *active* until it calls
+    :meth:`Context.terminate`; terminated processes stop taking rounds but
+    still receive (and by default ignore) late messages.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.alive = True
+        self.terminated = False
+
+    # -- callbacks -----------------------------------------------------
+    def on_start(self, ctx: "Context") -> None:
+        """Called once, in round 0, before any round step."""
+
+    def on_round(self, ctx: "Context") -> None:
+        """Called once per round while the process is live and active."""
+
+    def on_message(self, ctx: "Context", message: Message) -> None:
+        """Called for each message delivered to this (live) process."""
+
+    def on_crash(self, ctx: "Context") -> None:
+        """Called when the failure model crashes this process."""
+
+    def on_recover(self, ctx: "Context") -> None:
+        """Called if a crash-recovery failure model revives this process."""
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for one simulation run."""
+
+    rounds_executed: int = 0
+    messages_delivered: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+
+class Context:
+    """The face a :class:`Process` sees of the simulation.
+
+    A single context is shared by all processes; ``current`` is rebound to
+    the acting process around each callback so sends are attributed to the
+    right sender.
+    """
+
+    def __init__(self, engine: "SimulationEngine"):
+        self._engine = engine
+        self.current: Process | None = None
+
+    @property
+    def round(self) -> int:
+        """The current round number."""
+        return self._engine.round
+
+    @property
+    def rngs(self) -> RngRegistry:
+        """The run's random stream registry."""
+        return self._engine.rngs
+
+    def rng_for(self, *names: str | int):
+        """Shorthand for a per-process random stream."""
+        assert self.current is not None
+        return self._engine.rngs.stream("process", self.current.node_id, *names)
+
+    def send(self, dest: int, payload: Any, size: int = 1) -> bool:
+        """Send ``payload`` to process ``dest``.
+
+        Returns ``True`` if the network accepted the message (it may still
+        be lost in transit); ``False`` if the sender's per-round bandwidth
+        cap rejected it.  ``size`` is the abstract byte-size used for the
+        constant-message-size check.
+        """
+        assert self.current is not None, "send() outside a process callback"
+        return self._engine._submit(self.current.node_id, dest, payload, size)
+
+    def is_alive(self, node_id: int) -> bool:
+        """Whether ``node_id`` is currently live (oracle view, for metrics)."""
+        return self._engine.processes[node_id].alive
+
+    def terminate(self) -> None:
+        """Mark the acting process as finished with its protocol."""
+        assert self.current is not None
+        if not self.current.terminated:
+            self.current.terminated = True
+            self._engine._trace("terminate", self.current.node_id)
+
+
+class SimulationEngine:
+    """Drives processes, network and failures through synchronous rounds."""
+
+    def __init__(
+        self,
+        network: Network,
+        failure_model: FailureModel | None = None,
+        rngs: RngRegistry | None = None,
+        max_rounds: int = 100_000,
+        tracer: Tracer | None = None,
+        metrics: RoundMetrics | None = None,
+    ):
+        self.network = network
+        self.failure_model = failure_model or NoFailures()
+        self.rngs = rngs or RngRegistry(seed=0)
+        self.max_rounds = max_rounds
+        self.tracer = tracer
+        self.metrics = metrics
+        self.round = 0
+        self.processes: dict[int, Process] = {}
+        self.stats = EngineStats()
+        self._inbox: list[tuple[int, int, Message]] = []  # (round, seq, msg) heap
+        self._seq = 0
+        self._scheduled: list[tuple[int, int, Callable[[], None]]] = []
+        self._ctx = Context(self)
+
+    # -- setup ---------------------------------------------------------
+    def add_process(self, process: Process) -> None:
+        """Register a process; node ids must be unique."""
+        if process.node_id in self.processes:
+            raise ValueError(f"duplicate node id {process.node_id}")
+        self.processes[process.node_id] = process
+
+    def add_processes(self, processes: Iterable[Process]) -> None:
+        for process in processes:
+            self.add_process(process)
+
+    def schedule(self, at_round: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at the start of ``at_round`` (engine-level event)."""
+        if at_round < self.round:
+            raise ValueError("cannot schedule in the past")
+        self._seq += 1
+        heapq.heappush(self._scheduled, (at_round, self._seq, callback))
+
+    # -- internals -----------------------------------------------------
+    def _trace(self, kind: str, node: int, peer: int | None = None,
+               detail: Any = None) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                TraceEvent(self.round, kind, node, peer, detail)
+            )
+
+    def _submit(self, src: int, dest: int, payload: Any, size: int) -> bool:
+        message = Message(src=src, dest=dest, payload=payload, size=size,
+                          sent_round=self.round)
+        delivery_round = self.network.plan_delivery(message, self.rngs)
+        if delivery_round is Network.REJECTED:
+            self._trace("send_rejected", src, dest)
+            return False
+        if delivery_round is not None:
+            self._trace("send", src, dest)
+            self._seq += 1
+            heapq.heappush(self._inbox, (delivery_round, self._seq, message))
+        else:
+            self._trace("send_lost", src, dest)
+        return True
+
+    def _deliver_due(self) -> None:
+        while self._inbox and self._inbox[0][0] <= self.round:
+            __, __, message = heapq.heappop(self._inbox)
+            receiver = self.processes.get(message.dest)
+            if receiver is None or not receiver.alive:
+                continue  # paper model: messages to crashed members vanish
+            self.stats.messages_delivered += 1
+            self._trace("deliver", message.dest, message.src)
+            self._ctx.current = receiver
+            receiver.on_message(self._ctx, message)
+            self._ctx.current = None
+
+    def _apply_failures(self) -> None:
+        alive_ids = [p.node_id for p in self.processes.values() if p.alive]
+        crashed, recovered = self.failure_model.step(
+            self.round, alive_ids,
+            [p.node_id for p in self.processes.values() if not p.alive],
+            self.rngs.stream("failures"),
+        )
+        for node_id in crashed:
+            process = self.processes[node_id]
+            if process.alive:
+                process.alive = False
+                self.stats.crashes += 1
+                self._trace("crash", node_id)
+                self._ctx.current = process
+                process.on_crash(self._ctx)
+                self._ctx.current = None
+        for node_id in recovered:
+            process = self.processes[node_id]
+            if not process.alive:
+                process.alive = True
+                self.stats.recoveries += 1
+                self._trace("recover", node_id)
+                self._ctx.current = process
+                process.on_recover(self._ctx)
+                self._ctx.current = None
+
+    def _all_done(self) -> bool:
+        if self.failure_model.may_recover:
+            # Crashed processes may come back; only termination counts.
+            return all(p.terminated for p in self.processes.values())
+        return all(p.terminated or not p.alive for p in self.processes.values())
+
+    # -- run -----------------------------------------------------------
+    def run(self, until: Callable[[], bool] | None = None) -> EngineStats:
+        """Run rounds until every live process terminated (or ``until``).
+
+        ``until``, when given, is checked at each round boundary and stops
+        the run early when it returns True.
+        """
+        for process in self.processes.values():
+            self._ctx.current = process
+            process.on_start(self._ctx)
+            self._ctx.current = None
+        while self.round < self.max_rounds:
+            if (until() if until is not None else self._all_done()):
+                break
+            while self._scheduled and self._scheduled[0][0] <= self.round:
+                __, __, callback = heapq.heappop(self._scheduled)
+                callback()
+            self._apply_failures()
+            self._deliver_due()
+            self.network.begin_round(self.round)
+            for process in list(self.processes.values()):
+                if process.alive and not process.terminated:
+                    self._ctx.current = process
+                    process.on_round(self._ctx)
+                    self._ctx.current = None
+            if self.metrics is not None:
+                self.metrics.snapshot(self)
+            self.round += 1
+            self.stats.rounds_executed = self.round
+        return self.stats

@@ -1,0 +1,112 @@
+"""Crash-failure injection models.
+
+The paper's simulations crash each member independently with probability
+``pf`` per gossip round, *without recovery* (Section 7).  The model section
+(Section 2) allows arbitrary crash *and recovery*, so a crash-recovery
+model is provided as well for the extension experiments.
+
+A failure model is stepped once per round by the engine and returns the
+sets of node ids to crash and to recover this round.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FailureModel",
+    "NoFailures",
+    "CrashWithoutRecovery",
+    "CrashRecovery",
+    "ScheduledFailures",
+]
+
+
+class FailureModel:
+    """Base class: decide who crashes / recovers at each round."""
+
+    #: Whether crashed members may come back.  The engine uses this to
+    #: decide if a fully crashed-or-terminated group can still make
+    #: progress (models that recover keep the run alive to its horizon).
+    may_recover = False
+
+    def step(
+        self,
+        round_number: int,
+        alive_ids: Sequence[int],
+        crashed_ids: Sequence[int],
+        rng: np.random.Generator,
+    ) -> tuple[set[int], set[int]]:
+        """Return ``(to_crash, to_recover)`` for this round."""
+        return set(), set()
+
+
+class NoFailures(FailureModel):
+    """Fail-free group (used for correctness tests and Figure 11)."""
+
+
+class CrashWithoutRecovery(FailureModel):
+    """Paper's model: each live member crashes w.p. ``pf`` each round."""
+
+    def __init__(self, pf: float):
+        if not 0.0 <= pf <= 1.0:
+            raise ValueError(f"pf must be a probability, got {pf}")
+        self.pf = pf
+
+    def step(self, round_number, alive_ids, crashed_ids, rng):
+        if self.pf == 0.0 or not alive_ids:
+            return set(), set()
+        draws = rng.random(len(alive_ids))
+        to_crash = {nid for nid, draw in zip(alive_ids, draws) if draw < self.pf}
+        return to_crash, set()
+
+
+class CrashRecovery(CrashWithoutRecovery):
+    """Crash w.p. ``pf``; each crashed member recovers w.p. ``pr`` per round.
+
+    Recovery models a rebooting sensor: the process resumes with whatever
+    state its ``on_recover`` callback restores (our protocol processes keep
+    their state, i.e. no amnesia, matching a persisted vote).
+    """
+
+    def __init__(self, pf: float, pr: float):
+        super().__init__(pf)
+        if not 0.0 <= pr <= 1.0:
+            raise ValueError(f"pr must be a probability, got {pr}")
+        self.pr = pr
+        self.may_recover = pr > 0.0
+
+    def step(self, round_number, alive_ids, crashed_ids, rng):
+        to_crash, __ = super().step(round_number, alive_ids, crashed_ids, rng)
+        to_recover: set[int] = set()
+        if self.pr > 0.0 and crashed_ids:
+            draws = rng.random(len(crashed_ids))
+            to_recover = {
+                nid for nid, draw in zip(crashed_ids, draws) if draw < self.pr
+            }
+        return to_crash, to_recover
+
+
+class ScheduledFailures(FailureModel):
+    """Deterministic crash/recovery schedule, for targeted fault tests.
+
+    ``crash_at`` / ``recover_at`` map a round number to the node ids that
+    crash / recover at the start of that round.
+    """
+
+    def __init__(
+        self,
+        crash_at: Mapping[int, Iterable[int]] | None = None,
+        recover_at: Mapping[int, Iterable[int]] | None = None,
+    ):
+        self.crash_at = {r: set(ids) for r, ids in (crash_at or {}).items()}
+        self.recover_at = {r: set(ids) for r, ids in (recover_at or {}).items()}
+        self.may_recover = any(self.recover_at.values())
+
+    def step(self, round_number, alive_ids, crashed_ids, rng):
+        return (
+            set(self.crash_at.get(round_number, ())),
+            set(self.recover_at.get(round_number, ())),
+        )

@@ -1,0 +1,266 @@
+"""Unreliable network models.
+
+The paper's simulations (Section 7) use point-to-point (unicast) messaging
+with independent loss probability ``ucastl``; Figure 9 additionally splits
+the group into two halves and drops cross-partition messages with a higher
+probability ``partl`` (modelling congestion / correlated failures).
+
+All models here also enforce the paper's two scalability constraints
+(Section 2):
+
+* **Constant-bounded message size** — a message larger than
+  ``max_message_size`` raises :class:`MessageTooLarge` (a protocol bug, not
+  a network event).  The Hierarchical Gossiping protocol always sends O(1)
+  sized messages; the flat-gossip baseline can be configured with a large
+  bound to demonstrate *why* the constraint matters.
+* **Per-member bandwidth cap** — each sender may submit at most
+  ``max_sends_per_round`` messages per round; excess submissions are
+  rejected at the sender (returned as ``Network.REJECTED``) and counted.
+
+Latency is expressed in whole rounds (default: sent in round *t*, delivered
+at the start of round *t+1*), matching the synchronous-round abstraction of
+gossip protocol analyses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Message",
+    "MessageTooLarge",
+    "NetworkStats",
+    "Network",
+    "LossyNetwork",
+    "JitterNetwork",
+    "PartitionedNetwork",
+    "TopologyNetwork",
+]
+
+
+@dataclass
+class Message:
+    """A unicast message in flight.  ``size`` is an abstract byte count."""
+
+    src: int
+    dest: int
+    payload: Any
+    size: int = 1
+    sent_round: int = 0
+
+
+class MessageTooLarge(Exception):
+    """Raised when a protocol violates the constant-message-size bound."""
+
+
+@dataclass
+class NetworkStats:
+    """Counters kept by every network model."""
+
+    sent: int = 0
+    dropped: int = 0
+    rejected_bandwidth: int = 0
+    bytes_sent: int = 0
+    dropped_cross_partition: int = 0
+    per_sender_sent: Counter = field(default_factory=Counter)
+
+    @property
+    def delivered_planned(self) -> int:
+        """Messages that were not lost (they may still find a dead receiver)."""
+        return self.sent - self.dropped
+
+
+class Network:
+    """Base unreliable network.
+
+    Subclasses override :meth:`loss_probability` (and optionally
+    :meth:`latency`).  ``plan_delivery`` returns the delivery round, ``None``
+    for a lost message, or :data:`Network.REJECTED` when the sender's
+    bandwidth cap rejects the send outright.
+    """
+
+    #: Sentinel distinct from None (= lost in transit).
+    REJECTED = object()
+
+    def __init__(
+        self,
+        max_message_size: int = 64,
+        max_sends_per_round: int | None = None,
+        latency_rounds: int = 1,
+    ):
+        if latency_rounds < 1:
+            raise ValueError("latency must be at least one round")
+        self.max_message_size = max_message_size
+        self.max_sends_per_round = max_sends_per_round
+        self.latency_rounds = latency_rounds
+        self.stats = NetworkStats()
+        self._sends_this_round: Counter = Counter()
+
+    # -- model hooks ----------------------------------------------------
+    def loss_probability(self, message: Message) -> float:
+        """Probability this message is lost in transit."""
+        return 0.0
+
+    def latency(self, message: Message, rng) -> int:
+        """Delivery delay in rounds (>= 1)."""
+        return self.latency_rounds
+
+    # -- engine interface -----------------------------------------------
+    def begin_round(self, round_number: int) -> None:
+        """Reset per-round bandwidth accounting (called by the engine)."""
+        self._sends_this_round.clear()
+
+    def plan_delivery(self, message: Message, rngs: RngRegistry):
+        """Decide the fate of ``message``; see class docstring."""
+        if message.size > self.max_message_size:
+            raise MessageTooLarge(
+                f"message of size {message.size} exceeds bound "
+                f"{self.max_message_size} (src={message.src})"
+            )
+        if self.max_sends_per_round is not None:
+            if self._sends_this_round[message.src] >= self.max_sends_per_round:
+                self.stats.rejected_bandwidth += 1
+                return Network.REJECTED
+        self._sends_this_round[message.src] += 1
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size
+        self.stats.per_sender_sent[message.src] += 1
+        rng = rngs.stream("network", "loss")
+        probability = self.loss_probability(message)
+        if probability > 0.0 and rng.random() < probability:
+            self.stats.dropped += 1
+            return None
+        return message.sent_round + self.latency(message, rngs.stream("network", "latency"))
+
+
+class LossyNetwork(Network):
+    """Independent unicast loss with probability ``ucastl`` (paper default)."""
+
+    def __init__(self, ucastl: float = 0.25, **kwargs):
+        if not 0.0 <= ucastl <= 1.0:
+            raise ValueError(f"ucastl must be a probability, got {ucastl}")
+        super().__init__(**kwargs)
+        self.ucastl = ucastl
+
+    def loss_probability(self, message: Message) -> float:
+        return self.ucastl
+
+
+class JitterNetwork(LossyNetwork):
+    """Lossy network with stochastic per-message latency.
+
+    Latency is ``1 + Geometric(p = 1/mean_extra_latency)`` rounds
+    (memoryless queueing delay on top of the one-round base), capped at
+    ``max_latency``.  Models asynchronous networks where delivery order
+    is not send order — the setting the paper's asynchronous model
+    (Section 2) actually allows, beyond the fixed-latency simplification
+    of its simulations.
+    """
+
+    def __init__(
+        self,
+        ucastl: float = 0.0,
+        mean_extra_latency: float = 1.0,
+        max_latency: int = 16,
+        **kwargs,
+    ):
+        if mean_extra_latency < 0:
+            raise ValueError("mean_extra_latency must be non-negative")
+        if max_latency < 1:
+            raise ValueError("max_latency must be >= 1")
+        super().__init__(ucastl=ucastl, **kwargs)
+        self.mean_extra_latency = mean_extra_latency
+        self.max_latency = max_latency
+
+    def latency(self, message: Message, rng) -> int:
+        if self.mean_extra_latency == 0:
+            return 1
+        p = 1.0 / (1.0 + self.mean_extra_latency)
+        extra = int(rng.geometric(p)) - 1  # >= 0
+        return min(self.max_latency, 1 + extra)
+
+
+class PartitionedNetwork(LossyNetwork):
+    """Two-sided soft partition (Figure 9).
+
+    ``partition_of`` maps a node id to its partition label.  Messages whose
+    endpoints share a label are dropped with ``ucastl``; messages crossing
+    the partition are dropped with ``partl`` (>= ucastl in the paper's
+    experiment).
+    """
+
+    def __init__(
+        self,
+        partition_of: Callable[[int], int] | Mapping[int, int],
+        partl: float = 0.5,
+        ucastl: float = 0.25,
+        **kwargs,
+    ):
+        if not 0.0 <= partl <= 1.0:
+            raise ValueError(f"partl must be a probability, got {partl}")
+        super().__init__(ucastl=ucastl, **kwargs)
+        self.partl = partl
+        if callable(partition_of):
+            self._partition_of = partition_of
+        else:
+            mapping = dict(partition_of)
+            self._partition_of = mapping.__getitem__
+
+    def crosses_partition(self, message: Message) -> bool:
+        return self._partition_of(message.src) != self._partition_of(message.dest)
+
+    def loss_probability(self, message: Message) -> float:
+        if self.crosses_partition(message):
+            return self.partl
+        return self.ucastl
+
+    def plan_delivery(self, message: Message, rngs: RngRegistry):
+        crossing = self.crosses_partition(message)
+        before = self.stats.dropped
+        outcome = super().plan_delivery(message, rngs)
+        if crossing and outcome is None and self.stats.dropped == before + 1:
+            self.stats.dropped_cross_partition += 1
+        return outcome
+
+
+class TopologyNetwork(Network):
+    """Multihop ad-hoc network: loss compounds per hop.
+
+    ``hops`` maps an (src, dest) pair to its route length in hops; a message
+    over ``h`` hops survives with probability ``(1 - hop_loss) ** h`` and is
+    delivered after ``h`` latency rounds (each hop forwards next round).
+    Unroutable pairs (``hops`` returns None) are always lost — this models
+    disconnected regions of an ad-hoc deployment.
+    """
+
+    def __init__(
+        self,
+        hops: Callable[[int, int], int | None],
+        hop_loss: float = 0.05,
+        **kwargs,
+    ):
+        if not 0.0 <= hop_loss <= 1.0:
+            raise ValueError(f"hop_loss must be a probability, got {hop_loss}")
+        super().__init__(**kwargs)
+        self.hops = hops
+        self.hop_loss = hop_loss
+
+    def _route_length(self, message: Message) -> int | None:
+        if message.src == message.dest:
+            return 0
+        return self.hops(message.src, message.dest)
+
+    def loss_probability(self, message: Message) -> float:
+        route = self._route_length(message)
+        if route is None:
+            return 1.0
+        return 1.0 - (1.0 - self.hop_loss) ** route
+
+    def latency(self, message: Message, rng) -> int:
+        route = self._route_length(message)
+        return max(1, route if route is not None else 1)

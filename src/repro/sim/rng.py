@@ -1,0 +1,77 @@
+"""Deterministic, named random-number streams for reproducible simulation.
+
+Every stochastic decision in the simulator (message loss, crash draws,
+gossipee selection, vote generation, ...) draws from its own named stream.
+Streams are derived from a single experiment seed, so
+
+* the same seed always reproduces the same run, event for event, and
+* adding draws to one subsystem (e.g. a new failure model) never perturbs
+  the sequence seen by another subsystem.
+
+This is the standard "stream splitting" discipline used by discrete-event
+simulators; without it, seemingly unrelated code changes silently change
+experiment outcomes and make regressions impossible to bisect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, *names: str | int) -> int:
+    """Derive a child seed from ``root_seed`` and a path of names.
+
+    Uses SHA-256 over the root seed and the name path, so derived seeds are
+    well-mixed even for adjacent root seeds (numpy's default seeding of
+    nearby integers is already fine, but hashing also lets us use
+    arbitrary string paths such as ``("network", "loss")``).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode())
+    for name in names:
+        hasher.update(b"/")
+        hasher.update(str(name).encode())
+    return int.from_bytes(hasher.digest()[:8], "big") & _MASK64
+
+
+class RngRegistry:
+    """A family of named ``numpy.random.Generator`` streams under one seed.
+
+    >>> rngs = RngRegistry(seed=42)
+    >>> loss = rngs.stream("network", "loss")
+    >>> crash = rngs.stream("failures")
+    >>> loss is rngs.stream("network", "loss")   # streams are cached
+    True
+
+    The registry is the single source of randomness for a simulation run.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._streams: dict[tuple[str | int, ...], np.random.Generator] = {}
+
+    def stream(self, *names: str | int) -> np.random.Generator:
+        """Return (creating on first use) the generator for a name path."""
+        key = tuple(names)
+        generator = self._streams.get(key)
+        if generator is None:
+            generator = np.random.default_rng(derive_seed(self.seed, *names))
+            self._streams[key] = generator
+        return generator
+
+    def spawn(self, *names: str | int) -> "RngRegistry":
+        """Return a child registry rooted at a derived seed.
+
+        Useful for giving each of many repeated runs its own registry while
+        keeping a single top-level experiment seed.
+        """
+        return RngRegistry(derive_seed(self.seed, *names))
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,14 @@
+"""Synthetic deployment substrate: sensor fields and ad-hoc radio graphs."""
+
+from repro.topology.adhoc import AdHocNetwork
+from repro.topology.field import Hotspot, ScalarField, SensorField
+from repro.topology.internet import DomainNetwork, InternetGroup
+
+__all__ = [
+    "AdHocNetwork",
+    "Hotspot",
+    "ScalarField",
+    "SensorField",
+    "DomainNetwork",
+    "InternetGroup",
+]

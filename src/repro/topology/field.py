@@ -1,0 +1,107 @@
+"""Synthetic sensor deployments and measurement fields.
+
+The paper motivates the protocol with sensors on an airplane wing and
+"smart dust" scattered over terrain (Section 1).  We have no such
+hardware, so this module synthesizes the equivalent: member positions in
+the unit square plus a physical scalar field (e.g. temperature) sampled at
+each position — giving every simulated sensor a realistic, spatially
+correlated vote.  The substitution preserves what matters to the protocol:
+votes are per-member scalars, and topologically nearby members have
+correlated values (so grid-box partial aggregates are physically
+meaningful).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Hotspot", "ScalarField", "SensorField"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A Gaussian bump in the scalar field (e.g. an overheating engine)."""
+
+    x: float
+    y: float
+    amplitude: float
+    radius: float = 0.1
+
+    def value_at(self, x: float, y: float) -> float:
+        distance_sq = (x - self.x) ** 2 + (y - self.y) ** 2
+        return self.amplitude * math.exp(-distance_sq / (2 * self.radius**2))
+
+
+@dataclass(frozen=True)
+class ScalarField:
+    """``base + gradient . (x, y) + hotspots + N(0, noise)`` at any point."""
+
+    base: float = 20.0
+    gradient: tuple[float, float] = (0.0, 0.0)
+    hotspots: tuple[Hotspot, ...] = ()
+    noise_std: float = 0.0
+
+    def sample(self, x: float, y: float, rng: np.random.Generator) -> float:
+        value = self.base + self.gradient[0] * x + self.gradient[1] * y
+        for hotspot in self.hotspots:
+            value += hotspot.value_at(x, y)
+        if self.noise_std > 0.0:
+            value += float(rng.normal(0.0, self.noise_std))
+        return value
+
+
+class SensorField:
+    """A set of positioned sensors with votes drawn from a scalar field."""
+
+    def __init__(self, positions: dict[int, tuple[float, float]]):
+        for member_id, (x, y) in positions.items():
+            if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
+                raise ValueError(
+                    f"sensor {member_id} position {(x, y)} outside [0,1)^2"
+                )
+        self.positions = dict(positions)
+
+    @classmethod
+    def uniform_random(
+        cls, n: int, rng: np.random.Generator, start_id: int = 0
+    ) -> "SensorField":
+        """``n`` sensors dropped uniformly at random (smart dust)."""
+        coords = rng.random((n, 2)) * (1.0 - 1e-9)
+        return cls(
+            {
+                start_id + index: (float(x), float(y))
+                for index, (x, y) in enumerate(coords)
+            }
+        )
+
+    @classmethod
+    def regular_grid(cls, n: int, start_id: int = 0) -> "SensorField":
+        """About ``n`` sensors in a jitter-free lattice (airplane wing)."""
+        side = max(1, round(math.sqrt(n)))
+        positions = {}
+        member_id = start_id
+        for row in range(side):
+            for col in range(side):
+                if member_id - start_id >= n:
+                    break
+                positions[member_id] = (
+                    (col + 0.5) / side * (1.0 - 1e-9),
+                    (row + 0.5) / side * (1.0 - 1e-9),
+                )
+                member_id += 1
+        return cls(positions)
+
+    def votes(
+        self, scalar_field: ScalarField, rng: np.random.Generator
+    ) -> dict[int, float]:
+        """Each sensor's measurement of ``scalar_field`` at its position."""
+        return {
+            member_id: scalar_field.sample(x, y, rng)
+            for member_id, (x, y) in sorted(self.positions.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self.positions)

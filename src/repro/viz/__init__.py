@@ -1,0 +1,9 @@
+"""Plain-text visualization of hierarchies and deployments."""
+
+from repro.viz.tree import (
+    render_box_occupancy,
+    render_hierarchy,
+    render_sensor_map,
+)
+
+__all__ = ["render_hierarchy", "render_box_occupancy", "render_sensor_map"]

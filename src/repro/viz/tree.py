@@ -1,0 +1,114 @@
+"""ASCII renderings of the Grid Box Hierarchy and sensor deployments.
+
+`render_hierarchy` draws the tree of Figure 1 for any assignment;
+`render_box_occupancy` shows how balanced the hash left the boxes;
+`render_sensor_map` plots a 2-D deployment (and its grid boxes) on a
+character grid — handy for eyeballing topologically aware hashes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+
+from repro.core.gridbox import GridAssignment, SubtreeId
+
+__all__ = ["render_hierarchy", "render_box_occupancy", "render_sensor_map"]
+
+
+def _subtree_label(assignment: GridAssignment, subtree: SubtreeId) -> str:
+    hierarchy = assignment.hierarchy
+    length, value = subtree
+    if length == 0:
+        return "*" * hierarchy.digits if hierarchy.digits else "*"
+    digits = []
+    for __ in range(length):
+        digits.append(str(value % hierarchy.k))
+        value //= hierarchy.k
+    prefix = "".join(reversed(digits))
+    return prefix + "*" * (hierarchy.digits - length)
+
+
+def render_hierarchy(
+    assignment: GridAssignment,
+    max_members_per_box: int = 8,
+    member_prefix: str = "M",
+) -> str:
+    """Draw the hierarchy tree with grid-box members at the leaves.
+
+    Mirrors the paper's Figure 1: subtrees labelled by address prefixes
+    (``0*``, ``1*``, ...), grid boxes by their full addresses, members
+    listed inside their boxes (elided beyond ``max_members_per_box``).
+    Empty boxes are omitted.
+    """
+    hierarchy = assignment.hierarchy
+    lines: list[str] = []
+
+    def visit(subtree: SubtreeId, indent: int) -> None:
+        label = _subtree_label(assignment, subtree)
+        pad = "  " * indent
+        if subtree.prefix_length == hierarchy.digits:
+            members = assignment.members_of_box(subtree.prefix_value)
+            if not members:
+                return
+            shown = ", ".join(
+                f"{member_prefix}{m}" for m in members[:max_members_per_box]
+            )
+            extra = len(members) - max_members_per_box
+            if extra > 0:
+                shown += f", ... (+{extra})"
+            lines.append(f"{pad}box {label}: {shown}")
+            return
+        if not assignment.members_in_subtree(subtree):
+            return
+        lines.append(f"{pad}subtree {label}")
+        for child in hierarchy.child_subtrees(subtree):
+            visit(child, indent + 1)
+
+    visit(hierarchy.root(), 0)
+    return "\n".join(lines)
+
+
+def render_box_occupancy(assignment: GridAssignment, width: int = 40) -> str:
+    """Histogram of members per grid box (hash balance check)."""
+    hierarchy = assignment.hierarchy
+    counts = Counter(
+        len(assignment.members_of_box(box))
+        for box in range(hierarchy.num_boxes)
+    )
+    peak = max(counts.values())
+    lines = [
+        f"{hierarchy.num_boxes} boxes, K={hierarchy.k} "
+        f"(expected ~{hierarchy.group_size / hierarchy.num_boxes:.1f}/box)"
+    ]
+    for size in sorted(counts):
+        bar = "#" * max(1, round(counts[size] / peak * width))
+        lines.append(f"{size:>4} members: {bar} {counts[size]}")
+    return "\n".join(lines)
+
+
+def render_sensor_map(
+    positions: Mapping[int, tuple[float, float]],
+    assignment: GridAssignment | None = None,
+    width: int = 48,
+    height: int = 20,
+) -> str:
+    """Character-grid plot of a unit-square deployment.
+
+    With an ``assignment``, each sensor is drawn as its grid box's symbol
+    (0-9, a-z cycling), making box contiguity of a topologically aware
+    hash visible; without one, sensors are drawn as ``*``.
+    """
+    symbols = "0123456789abcdefghijklmnopqrstuvwxyz"
+    canvas = [[" "] * width for __ in range(height)]
+    for member, (x, y) in positions.items():
+        column = min(width - 1, int(x * width))
+        row = min(height - 1, int((1.0 - y) * height))
+        if assignment is not None:
+            symbol = symbols[assignment.box_of(member) % len(symbols)]
+        else:
+            symbol = "*"
+        canvas[row][column] = symbol
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in canvas)
+    return f"{border}\n{body}\n{border}"

@@ -1,0 +1,18 @@
+"""Shared test configuration.
+
+Hypothesis profile: simulation-backed properties legitimately take longer
+than the default 200ms deadline on slow machines, so deadlines are off;
+example counts stay at each test's explicit setting.  Derandomization
+keeps CI runs stable — the RNG-heavy properties already explore widely
+through their own seeded strategies.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

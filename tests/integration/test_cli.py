@@ -1,0 +1,65 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_commands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig4"])
+        assert args.command == "fig4"
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--n", "64", "--ucastl", "0.1", "--protocol", "flood"]
+        )
+        assert args.n == 64
+        assert args.ucastl == 0.1
+        assert args.protocol == "flood"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "fig11" in out
+
+    def test_analytic_figure(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "1/N" in out
+
+    def test_run_single(self, capsys):
+        assert main([
+            "run", "--n", "32", "--ucastl", "0", "--pf", "0",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mean completeness   : 1.000000" in out
+
+    def test_run_baseline_protocol(self, capsys):
+        assert main([
+            "run", "--n", "32", "--protocol", "centralized",
+            "--ucastl", "0", "--pf", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "centralized" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "fig5.csv"
+        assert main(["fig5", "--csv", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("K,")
+
+    def test_simulated_figure_with_runs(self, capsys):
+        assert main(["fig8", "--runs", "1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds/phase" in out

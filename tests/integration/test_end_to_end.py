@@ -1,0 +1,214 @@
+"""Integration tests: full protocol runs across all substrates."""
+
+import pytest
+
+from repro import aggregate_once
+from repro.core import (
+    AverageAggregate,
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    MaxAggregate,
+    TopologicalHash,
+    build_hierarchical_gossip_group,
+    measure_completeness,
+)
+from repro.experiments.params import with_params
+from repro.experiments.runner import run_once
+from repro.sim import (
+    CrashRecovery,
+    CrashWithoutRecovery,
+    LossyNetwork,
+    Network,
+    PartitionedNetwork,
+    RngRegistry,
+    ScheduledFailures,
+    SimulationEngine,
+    TopologyNetwork,
+)
+
+
+class TestQuickstartPath:
+    def test_aggregate_once_api(self):
+        votes = {i: 20.0 + (i % 7) for i in range(128)}
+        result = aggregate_once(votes, aggregate="average", seed=7)
+        assert result.completeness == 1.0
+        expected = sum(votes.values()) / len(votes)
+        assert result.true_value == pytest.approx(expected)
+
+    def test_aggregate_once_with_faults(self):
+        votes = {i: 1.0 for i in range(100)}
+        result = aggregate_once(votes, ucastl=0.3, pf=0.002, seed=1)
+        assert 0.8 <= result.completeness <= 1.0
+        assert result.crashes >= 0
+
+    def test_arbitrary_member_ids(self):
+        votes = {10_000 + 7 * i: float(i) for i in range(40)}
+        result = aggregate_once(votes, seed=2)
+        assert result.completeness == 1.0
+
+
+class TestCrashStorm:
+    def test_mass_crash_mid_protocol_degrades_gracefully(self):
+        """Crash 30% of the group at once mid-run: survivors still finish
+        with a mostly-complete estimate of the surviving votes."""
+        votes = {i: float(i) for i in range(100)}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(100, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(0))
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, GossipParams(rounds_factor_c=1.5)
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            failure_model=ScheduledFailures(crash_at={8: range(0, 30)}),
+            rngs=RngRegistry(3),
+            max_rounds=300,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, group_size=100)
+        assert report.crashed == 30
+        assert report.mean_completeness > 0.9
+
+    def test_everyone_crashes_no_hang(self):
+        votes = {i: 1.0 for i in range(20)}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(20, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(0))
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            failure_model=ScheduledFailures(crash_at={2: range(20)}),
+            rngs=RngRegistry(0),
+            max_rounds=100,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, group_size=20)
+        assert report.crashed == 20
+        assert report.mean_completeness == 0.0
+
+
+class TestCrashRecovery:
+    def test_recovered_members_rejoin_and_finish(self):
+        votes = {i: float(i) for i in range(40)}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(40, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(1))
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, GossipParams(rounds_factor_c=2.0)
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            failure_model=ScheduledFailures(
+                crash_at={3: [0, 1, 2]}, recover_at={6: [0, 1, 2]}
+            ),
+            rngs=RngRegistry(1),
+            max_rounds=300,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        recovered = [processes[i] for i in (0, 1, 2)]
+        assert all(p.alive for p in recovered)
+        assert all(p.result is not None for p in recovered)
+
+
+class TestPartitionHealing:
+    def test_total_partition_splits_estimates(self):
+        """partl=1.0: each half computes (at best) its own half's votes."""
+        result = run_once(
+            with_params(n=64, partl=1.0, ucastl=0.0, pf=0.0, seed=4)
+        )
+        assert result.completeness < 0.8
+        # but within-half aggregation still mostly works
+        assert result.completeness > 0.3
+
+
+class TestTopologyAwareDeployment:
+    def test_adhoc_sensor_field_aggregation(self):
+        """End-to-end over the ad-hoc substrate: positions -> radio graph
+        -> multihop loss -> topologically aware grid boxes."""
+        import numpy as np
+
+        from repro.topology.adhoc import AdHocNetwork
+        from repro.topology.field import ScalarField, SensorField
+
+        rng = np.random.default_rng(0)
+        sensors = SensorField.uniform_random(64, rng)
+        votes = sensors.votes(ScalarField(base=20.0, gradient=(5.0, 0.0)), rng)
+        adhoc = AdHocNetwork(sensors.positions, radius=0.35)
+        assert adhoc.is_connected()
+
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(64, 4)
+        topo_hash = TopologicalHash(sensors.positions, k=4)
+        assignment = GridAssignment(hierarchy, votes, topo_hash)
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, GossipParams(rounds_factor_c=2.0)
+        )
+        engine = SimulationEngine(
+            network=TopologyNetwork(
+                hops=adhoc.hops, hop_loss=0.02, max_message_size=1 << 20
+            ),
+            rngs=RngRegistry(5),
+            max_rounds=400,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, group_size=64)
+        assert report.mean_completeness > 0.95
+
+    def test_topology_hash_reduces_early_phase_distance(self):
+        """With a topologically aware hash, phase-1 messages travel fewer
+        hops than with a fair hash (the Section 6.1 load argument)."""
+        import numpy as np
+
+        from repro.topology.adhoc import AdHocNetwork
+        from repro.topology.field import SensorField
+
+        rng = np.random.default_rng(1)
+        sensors = SensorField.uniform_random(64, rng)
+        adhoc = AdHocNetwork(sensors.positions, radius=0.35)
+        votes = {m: 1.0 for m in sensors.positions}
+        hierarchy = GridBoxHierarchy(64, 4)
+
+        def mean_phase1_hops(hash_function):
+            assignment = GridAssignment(hierarchy, votes, hash_function)
+            distances = []
+            for member in votes:
+                for peer in assignment.peers_in_subtree(
+                    member, 1, list(votes)
+                ):
+                    hops = adhoc.hops(member, peer)
+                    if hops is not None:
+                        distances.append(hops)
+            return sum(distances) / max(1, len(distances))
+
+        topo = mean_phase1_hops(TopologicalHash(sensors.positions, k=4))
+        fair = mean_phase1_hops(FairHash(salt=0))
+        assert topo < fair
+
+
+class TestBandwidthDiscipline:
+    def test_bandwidth_cap_slows_but_does_not_crash(self):
+        votes = {i: 1.0 for i in range(32)}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(32, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(0))
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20, max_sends_per_round=1),
+            rngs=RngRegistry(0),
+            max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        assert engine.network.stats.rejected_bandwidth > 0
+        report = measure_completeness(processes, group_size=32)
+        assert report.mean_completeness > 0.5

@@ -1,0 +1,93 @@
+"""Integration smoke tests for the figure harness (scaled-down sweeps).
+
+The real reproductions live in ``benchmarks/``; these verify each figure
+function produces a well-formed result quickly, so a broken experiment
+definition fails in `pytest tests/` rather than mid-benchmark.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    baseline_comparison,
+    complexity_scaling,
+    fig4_phase1_analysis,
+    fig5_phase1_vs_k,
+    fig6_scalability,
+    fig7_message_loss,
+    fig8_gossip_rate,
+    fig9_partition,
+    fig10_member_failures,
+    fig11_theorem_bound,
+)
+
+
+class TestAnalyticFigures:
+    def test_fig4_shape(self):
+        figure = fig4_phase1_analysis(n_values=(1000, 2000))
+        measured, reference = figure.series
+        assert measured.xs == [1000, 2000]
+        # Postulate 1: measured incompleteness below 1/N
+        for value, bound in zip(measured.ys, reference.ys):
+            assert value <= bound
+
+    def test_fig5_monotone(self):
+        figure = fig5_phase1_vs_k(k_values=(4, 8, 16))
+        ys = figure.primary().ys
+        assert ys[0] >= ys[1] >= ys[2]
+
+    def test_renderable(self):
+        text = fig4_phase1_analysis(n_values=(1000, 2000)).render()
+        assert "fig4" in text
+
+
+class TestSimulatedFigures:
+    def test_fig6_small(self):
+        figure = fig6_scalability(n_values=(32, 64), runs=2)
+        assert len(figure.primary().xs) == 2
+        assert all(0.0 <= y <= 1.0 for y in figure.primary().ys)
+
+    def test_fig7_small(self):
+        figure = fig7_message_loss(loss_values=(0.3, 0.6), runs=2)
+        assert figure.primary().ys[0] <= figure.primary().ys[1] + 0.2
+
+    def test_fig8_small(self):
+        figure = fig8_gossip_rate(round_values=(2, 4), runs=2)
+        assert figure.primary().ys[0] >= figure.primary().ys[1]
+
+    def test_fig9_small(self):
+        figure = fig9_partition(partl_values=(0.5, 0.9), runs=2)
+        assert len(figure.primary().ys) == 2
+
+    def test_fig10_small(self):
+        figure = fig10_member_failures(pf_values=(0.001, 0.02), runs=2)
+        assert len(figure.primary().ys) == 2
+
+    def test_fig11_small(self):
+        figure = fig11_theorem_bound(n_values=(64, 128), runs=2)
+        measured, reference = figure.series
+        assert reference.ys == [1 / 64, 1 / 128]
+
+    def test_every_figure_registered(self):
+        assert set(ALL_FIGURES) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "baselines", "complexity",
+            "approx-n", "start-spread", "partial-views",
+        }
+
+
+class TestExtras:
+    def test_baseline_comparison_rows(self):
+        table = baseline_comparison(
+            protocols=("hierarchical_gossip", "flood"), n=32, runs=2
+        )
+        assert len(table.rows) == 2
+        names = [row[0] for row in table.rows]
+        assert names == ["hierarchical_gossip", "flood"]
+        for row in table.rows:
+            assert 0.0 <= row[1] <= 1.0  # completeness
+
+    def test_complexity_scaling_rows(self):
+        table = complexity_scaling(n_values=(32, 64), runs=1)
+        assert [row[0] for row in table.rows] == [32, 64]
+        assert all(row[1] > 0 for row in table.rows)

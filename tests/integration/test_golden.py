@@ -1,0 +1,61 @@
+"""Golden-run regression tests.
+
+These pin the *exact* observable outcomes of fixed-seed runs.  Any change
+to RNG stream consumption, round ordering, message planning or protocol
+logic shifts these numbers — which is the point: an innocent-looking
+refactor that silently changes simulation behaviour fails here first,
+with a diff a human can reason about.
+
+If a change is *intended* to alter behaviour (a protocol fix, a model
+change), update the constants and say why in the commit.
+"""
+
+import pytest
+
+from repro.experiments.params import with_params
+from repro.experiments.runner import run_once
+
+
+class TestGoldenRuns:
+    def test_default_point_seed0(self):
+        result = run_once(with_params(seed=0))
+        assert result.completeness == 1.0
+        assert result.rounds == 24
+        assert result.messages_sent == 9396
+        assert result.messages_dropped == 2310
+        assert result.crashes == 5
+
+    def test_lossy_point_seed1(self):
+        result = run_once(with_params(n=100, ucastl=0.6, pf=0.0, seed=1))
+        assert result.rounds == 15
+        assert 0.5 < result.completeness <= 1.0
+        # exact completeness pinned to 6 decimals
+        assert result.completeness == pytest.approx(0.7390, abs=5e-4)
+
+    def test_partition_point_seed2(self):
+        result = run_once(
+            with_params(n=64, partl=0.9, ucastl=0.1, pf=0.0, seed=2)
+        )
+        assert result.rounds == 15
+        assert result.messages_sent > 0
+        assert result.report.crashed == 0
+
+    def test_single_value_mode_seed3(self):
+        result = run_once(
+            with_params(n=64, batch_values=False, ucastl=0.0, pf=0.0,
+                        seed=3)
+        )
+        assert result.rounds == 15
+        assert 0.6 < result.completeness <= 1.0
+
+    def test_cross_protocol_message_counts_seed0(self):
+        """Deterministic protocols have exactly computable message counts."""
+        flood = run_once(
+            with_params(n=50, protocol="flood", ucastl=0.0, pf=0.0, seed=0)
+        )
+        assert flood.messages_sent == 50 * 49
+        centralized = run_once(
+            with_params(n=50, protocol="centralized", ucastl=0.0, pf=0.0,
+                        seed=0)
+        )
+        assert centralized.messages_sent == 2 * 49

@@ -1,0 +1,83 @@
+"""Combination matrix: protocols x aggregates x fault settings.
+
+Every protocol must produce exact results for every composable function
+on a clean network, and remain sane (bounded, self-including, no
+double-count crash) under faults.  Each cell is an independent
+end-to-end run.
+"""
+
+import pytest
+
+from repro.core.aggregates import get_aggregate
+from repro.experiments.params import with_params
+from repro.experiments.runner import PROTOCOLS, run_once
+
+EXACT_PROTOCOLS = [p for p in PROTOCOLS if p != "flat_gossip"]
+SCALAR_AGGREGATES = ["average", "sum", "count", "min", "max",
+                     "mean_variance"]
+
+
+class TestLosslessExactness:
+    @pytest.mark.parametrize("protocol", EXACT_PROTOCOLS)
+    @pytest.mark.parametrize("aggregate", SCALAR_AGGREGATES)
+    def test_exact(self, protocol, aggregate):
+        # C = 1.5: tiny groups need the larger round budget for guaranteed
+        # lossless exactness (see docs/PROTOCOL.md, invariant 4).
+        config = with_params(
+            n=24, protocol=protocol, aggregate=aggregate,
+            ucastl=0.0, pf=0.0, seed=7, rounds_factor_c=1.5,
+        )
+        result = run_once(config)
+        assert result.completeness == pytest.approx(1.0)
+        assert result.mean_estimate_error == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFaultSanity:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("ucastl,pf", [
+        (0.3, 0.0), (0.0, 0.01), (0.5, 0.005),
+    ])
+    def test_bounded_and_nonempty(self, protocol, ucastl, pf):
+        config = with_params(
+            n=48, protocol=protocol, ucastl=ucastl, pf=pf, seed=11,
+        )
+        result = run_once(config)
+        assert 0.0 <= result.completeness <= 1.0
+        # Surviving finishers always include at least their own vote.
+        for fraction in result.report.per_member_initial.values():
+            assert fraction >= 1.0 / config.n
+
+    @pytest.mark.parametrize("aggregate", SCALAR_AGGREGATES)
+    def test_gossip_estimates_physical(self, aggregate):
+        """Under faults, finalized estimates stay inside the vote range
+        for range-respecting functions (min/max/average)."""
+        config = with_params(
+            n=64, aggregate=aggregate, ucastl=0.4, pf=0.005, seed=3,
+        )
+        result = run_once(config)
+        if aggregate in ("average", "min", "max"):
+            # estimates cannot leave the vote interval
+            assert (
+                result.mean_estimate_error
+                <= config.vote_high - config.vote_low
+            )
+
+
+class TestGossipParameterMatrix:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    @pytest.mark.parametrize("fanout", [1, 2, 4])
+    def test_hierarchy_shapes(self, k, fanout):
+        config = with_params(
+            n=48, k=k, fanout_m=fanout, ucastl=0.1, pf=0.0, seed=5,
+        )
+        result = run_once(config)
+        assert result.completeness > 0.4
+        assert result.rounds > 0
+
+    @pytest.mark.parametrize("c", [0.5, 1.0, 2.0])
+    def test_round_factor(self, c):
+        config = with_params(
+            n=48, rounds_factor_c=c, ucastl=0.2, pf=0.0, seed=5,
+        )
+        result = run_once(config)
+        assert 0.0 <= result.completeness <= 1.0

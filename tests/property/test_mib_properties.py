@@ -1,0 +1,72 @@
+"""Property-based tests for the continuous MIB layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FairHash, GridAssignment, GridBoxHierarchy, get_aggregate
+from repro.mib import build_mib_group
+from repro.sim import LossyNetwork, RngRegistry, SimulationEngine
+
+vote_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=500),
+    values=st.floats(min_value=-1e4, max_value=1e4,
+                     allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=40,
+)
+
+
+def _converged_world(votes, seed=0, rounds=40, ucastl=0.0):
+    function = get_aggregate("average")
+    assignment = GridAssignment(
+        GridBoxHierarchy(len(votes), 4), votes, FairHash(0)
+    )
+    processes = build_mib_group(votes, function, assignment)
+    engine = SimulationEngine(
+        network=LossyNetwork(ucastl, max_message_size=1 << 20),
+        rngs=RngRegistry(seed),
+        max_rounds=100_000,
+    )
+    engine.add_processes(processes)
+    engine.run(until=lambda: engine.round >= rounds)
+    return processes, function
+
+
+@given(votes=vote_maps)
+@settings(max_examples=15, deadline=None)
+def test_lossless_queries_converge_exactly(votes):
+    processes, function = _converged_world(votes)
+    expected = sum(votes.values()) / len(votes)
+    for process in processes:
+        assert process.query_value() == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )
+
+
+@given(votes=vote_maps, seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_queries_always_well_formed_under_loss(votes, seed):
+    """Even mid-convergence under heavy loss, every query is a valid
+    aggregate over a subset of real members (never double-counted,
+    never out of range)."""
+    processes, function = _converged_world(
+        votes, seed=seed, rounds=6, ucastl=0.6
+    )
+    low, high = min(votes.values()), max(votes.values())
+    for process in processes:
+        state = process.query()
+        if state is None:
+            continue
+        assert state.members <= frozenset(votes)
+        value = function.finalize(state)
+        assert low - 1e-9 <= value <= high + 1e-9
+
+
+@given(votes=vote_maps)
+@settings(max_examples=8, deadline=None)
+def test_mib_deterministic(votes):
+    a, __ = _converged_world(votes, seed=5, rounds=12, ucastl=0.3)
+    b, __ = _converged_world(votes, seed=5, rounds=12, ucastl=0.3)
+    for pa, pb in zip(a, b):
+        assert pa.query_value() == pb.query_value()

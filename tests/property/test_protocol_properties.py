@@ -1,0 +1,90 @@
+"""Property-based tests for protocol-level invariants.
+
+The heavyweight invariants: no vote is ever double counted regardless of
+loss/crash pattern, every member's estimate covers itself, estimates are
+always valid partial aggregates, and runs are reproducible from the seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.epidemic import (
+    phase1_completeness,
+    phase_completeness_bound,
+)
+from repro.experiments.params import with_params
+from repro.experiments.runner import run_once
+
+run_configs = st.builds(
+    lambda n, k, ucastl, pf, c, seed, batch: with_params(
+        n=n, k=k, ucastl=ucastl, pf=pf, rounds_factor_c=c, seed=seed,
+        batch_values=batch,
+    ),
+    n=st.integers(min_value=4, max_value=96),
+    k=st.sampled_from([2, 4]),
+    ucastl=st.floats(min_value=0.0, max_value=0.9),
+    pf=st.floats(min_value=0.0, max_value=0.02),
+    c=st.floats(min_value=0.5, max_value=2.0),
+    seed=st.integers(0, 10_000),
+    batch=st.booleans(),
+)
+
+
+@given(config=run_configs)
+@settings(max_examples=25, deadline=None)
+def test_no_double_counting_under_arbitrary_faults(config):
+    """DoubleCountError would propagate out of run_once — any completed
+    run proves every member's estimate counted each vote at most once.
+    The completeness can never exceed 1."""
+    result = run_once(config)
+    assert 0.0 <= result.completeness <= 1.0
+    assert result.report.mean_completeness_initial <= 1.0
+
+
+@given(config=run_configs)
+@settings(max_examples=15, deadline=None)
+def test_every_surviving_estimate_includes_own_vote(config):
+    result = run_once(config)
+    # mean over members of estimates that at minimum include themselves
+    for member, fraction in result.report.per_member_initial.items():
+        assert fraction >= 1.0 / config.n
+
+
+@given(config=run_configs)
+@settings(max_examples=10, deadline=None)
+def test_runs_reproducible_from_seed(config):
+    a = run_once(config)
+    b = run_once(config)
+    assert a.completeness == b.completeness
+    assert a.messages_sent == b.messages_sent
+    assert a.rounds == b.rounds
+    assert a.crashes == b.crashes
+
+
+@given(
+    n=st.integers(min_value=8, max_value=64),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=10, deadline=None)
+def test_lossless_failfree_always_exact(n, seed):
+    # C = 1.5 gives small groups enough rounds per phase; at C = 1.0 and
+    # N ~ 10 a 3-round phase can legitimately leave a vote behind.
+    result = run_once(
+        with_params(n=n, ucastl=0.0, pf=0.0, seed=seed, rounds_factor_c=1.5)
+    )
+    assert result.completeness == 1.0
+    assert result.mean_estimate_error == pytest.approx(0.0, abs=1e-9)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=5000),
+    k=st.integers(min_value=2, max_value=8),
+    b=st.floats(min_value=0.25, max_value=16.0),
+)
+@settings(max_examples=120)
+def test_analysis_bounds_are_probabilities(n, k, b):
+    if k > n:
+        return
+    assert 0.0 <= phase1_completeness(n, k, b) <= 1.0
+    assert 0.0 <= phase_completeness_bound(n, b) <= 1.0

@@ -1,0 +1,104 @@
+"""Property-based tests for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Process, SimulationEngine
+from repro.sim.failures import CrashWithoutRecovery
+from repro.sim.metrics import RoundMetrics
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+
+
+class RandomTalker(Process):
+    """Sends to a random peer each round; terminates after a while."""
+
+    def __init__(self, node_id, peers, rounds):
+        super().__init__(node_id)
+        self.peers = peers
+        self.rounds = rounds
+        self.received = 0
+
+    def on_round(self, ctx):
+        rng = ctx.rng_for("talk")
+        peer = self.peers[rng.integers(len(self.peers))]
+        ctx.send(int(peer), "hello", size=4)
+        if ctx.round + 1 >= self.rounds:
+            ctx.terminate()
+
+    def on_message(self, ctx, message):
+        self.received += 1
+
+
+def _world(n, ucastl, pf, seed, rounds=6):
+    tracer = Tracer()
+    metrics = RoundMetrics()
+    engine = SimulationEngine(
+        network=LossyNetwork(ucastl, max_message_size=64),
+        failure_model=CrashWithoutRecovery(pf),
+        rngs=RngRegistry(seed),
+        max_rounds=rounds + 5,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    peers = list(range(n))
+    engine.add_processes(
+        [RandomTalker(i, peers, rounds) for i in range(n)]
+    )
+    engine.run()
+    return engine, tracer, metrics
+
+
+world_params = st.tuples(
+    st.integers(min_value=2, max_value=30),      # n
+    st.floats(min_value=0.0, max_value=1.0),     # ucastl
+    st.floats(min_value=0.0, max_value=0.2),     # pf
+    st.integers(0, 10_000),                      # seed
+)
+
+
+@given(params=world_params)
+@settings(max_examples=40, deadline=None)
+def test_conservation_of_messages(params):
+    """sent = lost + planned deliveries; deliveries never exceed sends."""
+    n, ucastl, pf, seed = params
+    engine, tracer, __ = _world(n, ucastl, pf, seed)
+    stats = engine.network.stats
+    assert stats.sent == stats.dropped + stats.delivered_planned
+    assert engine.stats.messages_delivered <= stats.delivered_planned
+    # trace counters agree with network counters
+    assert tracer.counts["send"] == stats.delivered_planned
+    assert tracer.counts["send_lost"] == stats.dropped
+
+
+@given(params=world_params)
+@settings(max_examples=30, deadline=None)
+def test_metrics_sum_to_totals(params):
+    n, ucastl, pf, seed = params
+    engine, __, metrics = _world(n, ucastl, pf, seed)
+    assert sum(metrics.messages_per_round()) == engine.network.stats.sent
+    assert (
+        sum(s.messages_dropped for s in metrics.samples)
+        == engine.network.stats.dropped
+    )
+
+
+@given(params=world_params)
+@settings(max_examples=30, deadline=None)
+def test_crashes_monotone_and_bounded(params):
+    n, ucastl, pf, seed = params
+    engine, tracer, metrics = _world(n, ucastl, pf, seed)
+    live_series = [s.live_members for s in metrics.samples]
+    assert all(a >= b for a, b in zip(live_series, live_series[1:]))
+    assert engine.stats.crashes == tracer.counts["crash"]
+    assert engine.stats.crashes <= n
+
+
+@given(params=world_params)
+@settings(max_examples=15, deadline=None)
+def test_trace_is_deterministic(params):
+    n, ucastl, pf, seed = params
+    __, tracer_a, __ = _world(n, ucastl, pf, seed)
+    __, tracer_b, __ = _world(n, ucastl, pf, seed)
+    assert tracer_a.events == tracer_b.events

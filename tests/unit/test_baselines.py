@@ -1,0 +1,208 @@
+"""Unit tests for the baseline protocols (flood, centralized, leader
+election, flat gossip)."""
+
+import pytest
+
+from repro.baselines.centralized import build_centralized_group
+from repro.baselines.flat_gossip import build_flat_gossip_group
+from repro.baselines.flood import build_flood_group
+from repro.baselines.leader_election import build_leader_election_group
+from repro.core.aggregates import AverageAggregate
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy
+from repro.core.hashing import FairHash, StaticHash
+from repro.core.protocol import measure_completeness
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import ScheduledFailures
+from repro.sim.network import LossyNetwork, Network
+from repro.sim.rng import RngRegistry
+
+VOTES = {i: float(i) for i in range(16)}
+TRUE_AVG = sum(VOTES.values()) / len(VOTES)
+
+
+def _run(processes, network=None, failures=None, seed=0, max_rounds=500):
+    engine = SimulationEngine(
+        network=network or Network(max_message_size=1 << 20),
+        failure_model=failures,
+        rngs=RngRegistry(seed),
+        max_rounds=max_rounds,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    return engine
+
+
+class TestFlood:
+    def test_lossless_is_exact_everywhere(self):
+        function = AverageAggregate()
+        processes = build_flood_group(VOTES, function)
+        _run(processes)
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(TRUE_AVG)
+
+    def test_message_complexity_is_quadratic(self):
+        processes = build_flood_group(VOTES, AverageAggregate())
+        engine = _run(processes)
+        n = len(VOTES)
+        assert engine.network.stats.sent == n * (n - 1)
+
+    def test_lossy_completeness_tracks_delivery_rate(self):
+        function = AverageAggregate()
+        processes = build_flood_group(
+            {i: 1.0 for i in range(120)}, function
+        )
+        engine = _run(processes, network=LossyNetwork(ucastl=0.5,
+                                                      max_message_size=1 << 20))
+        report = measure_completeness(processes, group_size=120)
+        # Each foreign vote arrives with p = 0.5 exactly once.
+        assert 0.42 < report.mean_completeness < 0.58
+
+    def test_fanout_validated(self):
+        with pytest.raises(ValueError):
+            build_flood_group(VOTES, AverageAggregate(), fanout=0)
+
+
+class TestCentralized:
+    def test_lossless_single_leader_exact(self):
+        function = AverageAggregate()
+        processes = build_centralized_group(VOTES, function)
+        _run(processes)
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(TRUE_AVG)
+
+    def test_message_complexity_is_linear(self):
+        processes = build_centralized_group(VOTES, AverageAggregate())
+        engine = _run(processes)
+        n = len(VOTES)
+        # N-1 reports up + N-1 disseminations down.
+        assert engine.network.stats.sent == 2 * (n - 1)
+
+    def test_leader_crash_loses_everything(self):
+        """The paper's core criticism: one crash, no result anywhere."""
+        function = AverageAggregate()
+        processes = build_centralized_group(VOTES, function)
+        _run(processes, failures=ScheduledFailures(crash_at={1: [0]}))
+        report = measure_completeness(processes, group_size=len(VOTES))
+        # Survivors fall back to their own vote only.
+        assert report.mean_completeness <= 2 / len(VOTES)
+
+    def test_committee_survives_one_crash(self):
+        function = AverageAggregate()
+        processes = build_centralized_group(
+            VOTES, function, committee_size=2
+        )
+        _run(processes, failures=ScheduledFailures(crash_at={1: [0]}))
+        report = measure_completeness(processes, group_size=len(VOTES))
+        assert report.mean_completeness > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_centralized_group(VOTES, AverageAggregate(),
+                                    committee_size=0)
+
+
+def _assignment(votes, k=2, salt=0):
+    hierarchy = GridBoxHierarchy(len(votes), k)
+    return GridAssignment(hierarchy, votes, FairHash(salt=salt))
+
+
+class TestLeaderElection:
+    def test_lossless_exact_everywhere(self):
+        function = AverageAggregate()
+        assignment = _assignment(VOTES)
+        processes = build_leader_election_group(VOTES, function, assignment)
+        _run(processes)
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(TRUE_AVG)
+            assert process.result.members == frozenset(VOTES)
+
+    def test_committees_are_upward_nested(self):
+        assignment = _assignment(VOTES)
+        processes = build_leader_election_group(
+            VOTES, AverageAggregate(), assignment, committee_size=2
+        )
+        for process in processes:
+            # leader at height h implies leader at all lower heights
+            for phase in range(1, process.leader_height + 1):
+                assert process.node_id in process._committee(phase)
+
+    def test_root_leader_crash_loses_subtree(self):
+        """Crash the root leader right after the top aggregation phase:
+        members outside its dissemination path keep partial results."""
+        function = AverageAggregate()
+        assignment = _assignment(VOTES)
+        processes = build_leader_election_group(VOTES, function, assignment)
+        root_leader = max(processes, key=lambda p: p.leader_height)
+        crash_round = processes[0].rounds_per_phase * (
+            assignment.hierarchy.num_phases
+        )
+        engine = _run(
+            processes,
+            failures=ScheduledFailures(
+                crash_at={crash_round: [root_leader.node_id]}
+            ),
+        )
+        report = measure_completeness(processes, group_size=len(VOTES))
+        assert report.mean_completeness < 1.0
+
+    def test_single_message_loss_loses_whole_subtree(self):
+        """No retransmission: deterministic loss of all phase-1 reports
+        leaves leaders with only their own lineage."""
+        function = AverageAggregate()
+        assignment = _assignment(VOTES)
+        processes = build_leader_election_group(VOTES, function, assignment)
+        engine = _run(processes, network=LossyNetwork(
+            ucastl=1.0, max_message_size=1 << 20))
+        report = measure_completeness(processes, group_size=len(VOTES))
+        assert report.mean_completeness <= 2 / len(VOTES)
+
+    def test_validation(self):
+        assignment = _assignment(VOTES)
+        with pytest.raises(ValueError):
+            build_leader_election_group(
+                VOTES, AverageAggregate(), assignment, committee_size=0
+            )
+        with pytest.raises(ValueError):
+            build_leader_election_group(
+                VOTES, AverageAggregate(), assignment, rounds_per_phase=1
+            )
+
+
+class TestFlatGossip:
+    def test_lossless_converges_with_enough_rounds(self):
+        function = AverageAggregate()
+        processes = build_flat_gossip_group(
+            VOTES, function, total_rounds=60
+        )
+        _run(processes)
+        for process in processes:
+            assert process.result.members == frozenset(VOTES)
+
+    def test_full_state_messages_are_large(self):
+        function = AverageAggregate()
+        processes = build_flat_gossip_group(
+            VOTES, function, total_rounds=20, full_state=True
+        )
+        engine = _run(processes)
+        # Late-round messages carry ~N votes: mean size far above one vote.
+        mean_size = engine.network.stats.bytes_sent / engine.network.stats.sent
+        assert mean_size > 5 * 24
+
+    def test_single_value_messages_are_constant_size(self):
+        function = AverageAggregate()
+        processes = build_flat_gossip_group(
+            VOTES, function, total_rounds=20, full_state=False
+        )
+        engine = _run(processes, network=Network(max_message_size=40))
+        assert engine.network.stats.sent > 0
+
+    def test_round_budget_respected(self):
+        processes = build_flat_gossip_group(
+            VOTES, AverageAggregate(), total_rounds=7
+        )
+        engine = _run(processes)
+        assert engine.round == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_flat_gossip_group(VOTES, AverageAggregate(), total_rounds=0)

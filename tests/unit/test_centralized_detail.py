@@ -1,0 +1,120 @@
+"""Deeper unit tests for the centralized baseline internals."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    CentralizedProcess,
+    build_centralized_group,
+)
+from repro.core.aggregates import AverageAggregate
+from repro.core.protocol import measure_completeness
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import ScheduledFailures
+from repro.sim.network import LossyNetwork, Network
+from repro.sim.rng import RngRegistry
+
+VOTES = {i: float(i) for i in range(30)}
+
+
+def _run(processes, network=None, failures=None):
+    engine = SimulationEngine(
+        network=network or Network(max_message_size=1 << 20),
+        failure_model=failures,
+        rngs=RngRegistry(0),
+        max_rounds=2000,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    return engine
+
+
+class TestImplosionStagger:
+    def test_report_rounds_spread_by_bandwidth(self):
+        processes = build_centralized_group(
+            VOTES, AverageAggregate(), leader_bandwidth=10
+        )
+        report_rounds = sorted(p.report_round for p in processes)
+        # 30 members at 10/round -> rounds 0, 1, 2.
+        assert report_rounds[0] == 0
+        assert report_rounds[-1] == 2
+        assert report_rounds.count(0) == 10
+
+    def test_leader_receive_rate_bounded(self):
+        """The stagger keeps per-round arrivals at the leader near the
+        bandwidth cap (the implosion the paper criticises is modelled,
+        not ignored)."""
+        processes = build_centralized_group(
+            VOTES, AverageAggregate(), leader_bandwidth=5
+        )
+        leader = processes[0]
+        assert leader.is_leader
+        # collection window sized to N / bandwidth plus drain
+        assert leader.collect_until >= 30 / 5
+
+    def test_time_complexity_linear_in_n(self):
+        small = build_centralized_group(
+            {i: 1.0 for i in range(20)}, AverageAggregate(),
+            leader_bandwidth=5,
+        )
+        large = build_centralized_group(
+            {i: 1.0 for i in range(200)}, AverageAggregate(),
+            leader_bandwidth=5,
+        )
+        assert large[0].collect_until > 5 * small[0].collect_until
+
+
+class TestDissemination:
+    def test_everyone_receives_result_lossless(self):
+        processes = build_centralized_group(VOTES, AverageAggregate())
+        _run(processes)
+        expected = sum(VOTES.values()) / len(VOTES)
+        function = AverageAggregate()
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(
+                expected
+            )
+
+    def test_orphaned_members_fall_back_to_own_vote(self):
+        """If every leader message is lost, members time out with only
+        their own vote instead of hanging."""
+        processes = build_centralized_group(VOTES, AverageAggregate())
+        engine = _run(
+            processes,
+            network=LossyNetwork(1.0, max_message_size=1 << 20),
+        )
+        report = measure_completeness(processes, group_size=len(VOTES))
+        assert report.unfinished == 0
+        assert report.mean_completeness == pytest.approx(1 / len(VOTES))
+
+    def test_mid_dissemination_crash_partial_delivery(self):
+        """Leader crashes halfway through pushing results: exactly the
+        members already served hold the full estimate."""
+        processes = build_centralized_group(
+            VOTES, AverageAggregate(), leader_bandwidth=5
+        )
+        leader = processes[0]
+        crash_round = leader.collect_until + 2  # two dissemination rounds in
+        engine = _run(
+            processes,
+            failures=ScheduledFailures(crash_at={crash_round: [0]}),
+        )
+        report = measure_completeness(processes, group_size=len(VOTES))
+        fractions = set(report.per_member_initial.values())
+        # Some members hold the full estimate, the rest only their vote.
+        assert 1.0 in fractions
+        assert 1 / len(VOTES) in fractions
+
+
+class TestValidation:
+    def test_leader_bandwidth_validated(self):
+        with pytest.raises(ValueError):
+            build_centralized_group(
+                VOTES, AverageAggregate(), leader_bandwidth=0
+            )
+
+    def test_empty_leaders_rejected(self):
+        with pytest.raises(ValueError):
+            CentralizedProcess(
+                0, 1.0, AverageAggregate(), leaders=[], member_rank=0,
+                group_size=1,
+            )

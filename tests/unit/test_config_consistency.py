@@ -1,0 +1,61 @@
+"""Guards against drift between the two layers of configuration.
+
+``GossipParams`` (protocol-level) and ``RunConfig`` (experiment-level)
+deliberately duplicate the protocol knobs; these tests fail if a default
+changes in one place but not the other, or if the runner stops
+forwarding a knob.
+"""
+
+import dataclasses
+
+from repro.core.hierarchical_gossip import GossipParams
+from repro.experiments.params import PAPER_DEFAULTS, RunConfig, with_params
+from repro.experiments.runner import _build_processes
+from repro.sim.rng import RngRegistry
+
+MIRRORED_FIELDS = {
+    "fanout_m",
+    "rounds_factor_c",
+    "rounds_per_phase",
+    "early_bump",
+    "batch_values",
+    "independent_values",
+    "prefer_coverage",
+    "push_pull",
+    "representative_fraction",
+}
+
+
+class TestDefaultsMatch:
+    def test_mirrored_defaults_identical(self):
+        params = GossipParams()
+        for field in MIRRORED_FIELDS:
+            assert getattr(PAPER_DEFAULTS, field) == getattr(params, field), (
+                f"default for {field} drifted between RunConfig and "
+                f"GossipParams"
+            )
+
+    def test_runconfig_has_all_mirrored_fields(self):
+        names = {f.name for f in dataclasses.fields(RunConfig)}
+        assert MIRRORED_FIELDS <= names
+
+
+class TestRunnerForwarding:
+    def test_every_mirrored_field_reaches_the_process(self):
+        overrides = {
+            "fanout_m": 3,
+            "rounds_factor_c": 1.7,
+            "rounds_per_phase": 9,
+            "early_bump": False,
+            "batch_values": False,
+            "independent_values": True,
+            "prefer_coverage": False,
+            "push_pull": True,
+            "representative_fraction": 0.5,
+        }
+        config = with_params(n=16, **overrides)
+        votes = {i: 1.0 for i in range(16)}
+        processes, __ = _build_processes(config, votes, RngRegistry(0))
+        params = processes[0].params
+        for field, value in overrides.items():
+            assert getattr(params, field) == value, field

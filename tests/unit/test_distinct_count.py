@@ -1,0 +1,82 @@
+"""Unit tests for the Flajolet-Martin distinct-count sketch aggregate."""
+
+import pytest
+
+from repro.core.aggregates import DistinctCountAggregate, get_aggregate
+
+
+class TestDistinctCount:
+    def test_single_member(self):
+        f = DistinctCountAggregate(buckets=16)
+        estimate = f.finalize(f.lift(42, 0.0))
+        assert 0.5 < estimate < 6.0
+
+    def test_estimate_tracks_cardinality(self):
+        f = DistinctCountAggregate(buckets=32)
+        for true_count in (50, 200, 1000):
+            state = f.over({i: 1.0 for i in range(true_count)})
+            estimate = f.finalize(state)
+            assert 0.5 * true_count < estimate < 2.0 * true_count
+
+    def test_merge_is_idempotent_on_payload(self):
+        """Including the same sketch twice cannot move the estimate."""
+        f = DistinctCountAggregate(buckets=8)
+        state = f.over({i: 1.0 for i in range(64)})
+        assert f._combine(state.payload, state.payload) == state.payload
+
+    def test_composability(self):
+        f = DistinctCountAggregate(buckets=8)
+        left = f.over({i: 1.0 for i in range(0, 60)})
+        right = f.over({i: 1.0 for i in range(60, 130)})
+        merged = f.merge(left, right)
+        direct = f.over({i: 1.0 for i in range(130)})
+        assert merged.payload == direct.payload
+
+    def test_vote_value_irrelevant(self):
+        f = DistinctCountAggregate()
+        assert f.lift(3, 1.0).payload == f.lift(3, 99.0).payload
+
+    def test_salt_changes_sketch(self):
+        a = DistinctCountAggregate(salt=0).lift(7, 0.0)
+        b = DistinctCountAggregate(salt=1).lift(7, 0.0)
+        assert a.payload != b.payload
+
+    def test_registry(self):
+        f = get_aggregate("distinct_count", buckets=4)
+        assert isinstance(f, DistinctCountAggregate)
+        assert f.buckets == 4
+
+    def test_buckets_validated(self):
+        with pytest.raises(ValueError):
+            DistinctCountAggregate(buckets=0)
+
+    def test_constant_wire_size(self):
+        f = DistinctCountAggregate(buckets=8)
+        small = f.lift(0, 1.0)
+        large = f.over({i: 1.0 for i in range(500)})
+        assert small.wire_size() == large.wire_size()
+
+    def test_over_protocol(self):
+        """A distinct-count census over the actual gossip protocol."""
+        from repro.core import (
+            FairHash,
+            GridAssignment,
+            GridBoxHierarchy,
+            build_hierarchical_gossip_group,
+        )
+        from repro.sim import Network, RngRegistry, SimulationEngine
+
+        votes = {i: 1.0 for i in range(128)}
+        f = DistinctCountAggregate(buckets=32)
+        assignment = GridAssignment(
+            GridBoxHierarchy(128, 4), votes, FairHash(0)
+        )
+        processes = build_hierarchical_gossip_group(votes, f, assignment)
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            rngs=RngRegistry(0), max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        estimate = f.finalize(processes[0].result)
+        assert 64 < estimate < 256

@@ -1,0 +1,185 @@
+"""Unit tests for the round-based simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Process, SimulationEngine
+from repro.sim.failures import ScheduledFailures
+from repro.sim.network import LossyNetwork, Network
+from repro.sim.rng import RngRegistry
+
+
+class Echo(Process):
+    """Sends one message to a target on round 0; records receipts."""
+
+    def __init__(self, node_id, target=None, rounds=1):
+        super().__init__(node_id)
+        self.target = target
+        self.rounds = rounds
+        self.received = []
+        self.round_log = []
+        self.started = False
+        self.crashed_at = None
+        self.recovered_at = None
+
+    def on_start(self, ctx):
+        self.started = True
+
+    def on_round(self, ctx):
+        self.round_log.append(ctx.round)
+        if self.target is not None and ctx.round == 0:
+            ctx.send(self.target, f"hi from {self.node_id}")
+        if len(self.round_log) >= self.rounds:
+            ctx.terminate()
+
+    def on_message(self, ctx, message):
+        self.received.append((ctx.round, message.src, message.payload))
+
+    def on_crash(self, ctx):
+        self.crashed_at = ctx.round
+
+    def on_recover(self, ctx):
+        self.recovered_at = ctx.round
+
+
+def _engine(network=None, failures=None, max_rounds=100):
+    return SimulationEngine(
+        network=network or Network(),
+        failure_model=failures,
+        rngs=RngRegistry(0),
+        max_rounds=max_rounds,
+    )
+
+
+class TestLifecycle:
+    def test_on_start_called_once(self):
+        engine = _engine()
+        p = Echo(0)
+        engine.add_process(p)
+        engine.run()
+        assert p.started
+
+    def test_duplicate_ids_rejected(self):
+        engine = _engine()
+        engine.add_process(Echo(0))
+        with pytest.raises(ValueError):
+            engine.add_process(Echo(0))
+
+    def test_run_stops_when_all_terminate(self):
+        engine = _engine()
+        engine.add_processes([Echo(0, rounds=3), Echo(1, rounds=5)])
+        stats = engine.run()
+        assert stats.rounds_executed == 5
+
+    def test_max_rounds_bounds_run(self):
+        class Forever(Process):
+            pass
+
+        engine = _engine(max_rounds=7)
+        engine.add_process(Forever(0))
+        stats = engine.run()
+        assert stats.rounds_executed == 7
+
+    def test_until_predicate_stops_early(self):
+        engine = _engine()
+        engine.add_process(Echo(0, rounds=50))
+        engine.run(until=lambda: engine.round >= 10)
+        assert engine.round == 10
+
+
+class TestMessaging:
+    def test_message_delivered_next_round(self):
+        engine = _engine()
+        a, b = Echo(0, target=1, rounds=5), Echo(1, rounds=5)
+        engine.add_processes([a, b])
+        engine.run()
+        assert b.received == [(1, 0, "hi from 0")]
+
+    def test_terminated_process_still_receives(self):
+        engine = _engine()
+        a = Echo(0, target=1, rounds=5)
+        b = Echo(1, rounds=1)  # terminates in round 0
+        engine.add_processes([a, b])
+        engine.run()
+        assert b.received  # late delivery still reaches it
+
+    def test_message_to_unknown_destination_vanishes(self):
+        engine = _engine()
+        engine.add_process(Echo(0, target=99, rounds=2))
+        stats = engine.run()
+        assert stats.messages_delivered == 0
+
+    def test_messages_to_crashed_member_vanish(self):
+        engine = _engine(failures=ScheduledFailures(crash_at={0: [1]}))
+        a, b = Echo(0, target=1, rounds=3), Echo(1, rounds=3)
+        engine.add_processes([a, b])
+        engine.run()
+        assert b.received == []
+
+    def test_send_outside_callback_asserts(self):
+        engine = _engine()
+        engine.add_process(Echo(0))
+        with pytest.raises(AssertionError):
+            engine._ctx.send(0, "nope")
+
+
+class TestFailures:
+    def test_crash_stops_rounds(self):
+        engine = _engine(failures=ScheduledFailures(crash_at={2: [0]}))
+        p = Echo(0, rounds=100)
+        engine.add_process(p)
+        engine.run()
+        assert p.crashed_at == 2
+        assert max(p.round_log) == 1  # no round step at/after the crash
+
+    def test_recovery_resumes_rounds(self):
+        engine = _engine(
+            failures=ScheduledFailures(crash_at={1: [0]}, recover_at={3: [0]})
+        )
+        p = Echo(0, rounds=4)
+        engine.add_process(p)
+        engine.run()
+        assert p.recovered_at == 3
+        assert 3 in p.round_log
+
+    def test_crash_counted_once(self):
+        engine = _engine(
+            failures=ScheduledFailures(crash_at={1: [0], 2: [0]})
+        )
+        engine.add_process(Echo(0, rounds=100))
+        stats = engine.run()
+        assert stats.crashes == 1
+
+
+class TestScheduling:
+    def test_scheduled_callback_runs_at_round(self):
+        engine = _engine()
+        fired = []
+        engine.add_process(Echo(0, rounds=6))
+        engine.schedule(3, lambda: fired.append(engine.round))
+        engine.run()
+        assert fired == [3]
+
+    def test_cannot_schedule_in_past(self):
+        engine = _engine()
+        engine.round = 5
+        with pytest.raises(ValueError):
+            engine.schedule(4, lambda: None)
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        engine = SimulationEngine(
+            network=LossyNetwork(ucastl=0.5),
+            rngs=RngRegistry(seed),
+            max_rounds=50,
+        )
+        procs = [Echo(i, target=(i + 1) % 10, rounds=10) for i in range(10)]
+        engine.add_processes(procs)
+        engine.run()
+        return [tuple(p.received) for p in procs]
+
+    def test_same_seed_identical_trace(self):
+        assert self._run(5) == self._run(5)
+
+    def test_different_seed_differs(self):
+        assert self._run(5) != self._run(6)

@@ -1,0 +1,122 @@
+"""Unit tests for the epidemic analysis (Section 6.3 math)."""
+
+import math
+
+import pytest
+
+from repro.analysis.epidemic import (
+    effective_contact_rate,
+    infected_fraction,
+    logistic_infected,
+    num_phases,
+    phase1_completeness,
+    phase1_postulate_bound,
+    phase_completeness_approx,
+    phase_completeness_bound,
+    theorem1_approx,
+    theorem1_bound,
+)
+
+
+class TestLogistic:
+    def test_initial_condition(self):
+        assert logistic_infected(m=100, b=2.0, t=0.0) == pytest.approx(1.0)
+
+    def test_saturates_at_group_size(self):
+        assert logistic_infected(m=100, b=2.0, t=50.0) == pytest.approx(
+            100.0, rel=1e-6
+        )
+
+    def test_monotone_in_time(self):
+        values = [logistic_infected(50, 1.0, t) for t in range(10)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_fraction_in_unit_interval(self):
+        for t in (0.0, 1.0, 5.0, 100.0):
+            assert 0.0 < infected_fraction(30, 0.5, t) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            logistic_infected(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            logistic_infected(10, 1.0, -1.0)
+
+
+class TestPhaseBounds:
+    def test_exact_and_approx_agree_for_large_n(self):
+        exact = phase_completeness_bound(10_000, 4.0)
+        approx = phase_completeness_approx(10_000, 4.0)
+        assert exact == pytest.approx(approx, abs=1e-6)
+
+    def test_bound_in_unit_interval(self):
+        for n in (10, 100, 10_000):
+            for b in (1.0, 2.0, 4.0, 8.0):
+                assert 0.0 <= phase_completeness_bound(n, b) <= 1.0
+
+    def test_monotone_in_b(self):
+        values = [phase_completeness_bound(1000, b) for b in (1, 2, 4, 8)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_paper_form(self):
+        """1 - 1/N^(b-1) at b=4, N=1000 -> 1 - 1e-9."""
+        assert phase_completeness_approx(1000, 4.0) == pytest.approx(
+            1 - 1e-9
+        )
+
+
+class TestPhase1Completeness:
+    def test_in_unit_interval(self):
+        assert 0.0 <= phase1_completeness(100, 4, 0.5) <= 1.0
+
+    def test_postulate1_regime(self):
+        """Figure 4/5 claim: C_1 >= 1 - 1/N for K >= 2, b >= 4."""
+        for n in (1000, 2000, 4000, 8000):
+            assert phase1_completeness(n, 2, 4.0) >= phase1_postulate_bound(n)
+
+    def test_monotone_in_k(self):
+        """Figure 5: completeness rises with K."""
+        values = [phase1_completeness(2000, k, 4.0) for k in (4, 8, 16, 32)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_b(self):
+        values = [phase1_completeness(2000, 4, b) for b in (0.5, 1, 2, 4)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            phase1_completeness(10, 1, 4.0)
+        with pytest.raises(ValueError):
+            phase1_completeness(10, 20, 4.0)
+
+
+class TestTheorem1:
+    def test_headline_bound(self):
+        assert theorem1_approx(500) == pytest.approx(1 - 1 / 500)
+
+    def test_product_close_to_headline_for_b4(self):
+        for n in (500, 2000, 8000):
+            product = theorem1_bound(n, 4, 4.0)
+            headline = theorem1_approx(n)
+            assert product == pytest.approx(headline, abs=1e-4)
+            assert product <= 1.0
+
+    def test_num_phases(self):
+        assert num_phases(64, 4) == pytest.approx(3.0)
+        assert num_phases(8, 2) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            num_phases(10, 1)
+
+
+class TestEffectiveContactRate:
+    def test_lossless(self):
+        assert effective_contact_rate(2) == 2.0
+
+    def test_thinning(self):
+        assert effective_contact_rate(2, ucastl=0.25) == pytest.approx(1.5)
+        assert effective_contact_rate(
+            2, ucastl=0.25, pf=0.5
+        ) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_contact_rate(0)

@@ -1,0 +1,88 @@
+"""Unit tests for the crash-failure models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failures import (
+    CrashRecovery,
+    CrashWithoutRecovery,
+    NoFailures,
+    ScheduledFailures,
+)
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestNoFailures:
+    def test_nothing_happens(self):
+        model = NoFailures()
+        crash, recover = model.step(0, [1, 2, 3], [], _rng())
+        assert crash == set()
+        assert recover == set()
+
+
+class TestCrashWithoutRecovery:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            CrashWithoutRecovery(pf=-0.1)
+        with pytest.raises(ValueError):
+            CrashWithoutRecovery(pf=1.01)
+
+    def test_zero_rate_never_crashes(self):
+        model = CrashWithoutRecovery(pf=0.0)
+        crash, __ = model.step(0, list(range(100)), [], _rng())
+        assert crash == set()
+
+    def test_certain_rate_crashes_everyone(self):
+        model = CrashWithoutRecovery(pf=1.0)
+        crash, __ = model.step(0, [1, 2, 3], [], _rng())
+        assert crash == {1, 2, 3}
+
+    def test_rate_statistics(self):
+        model = CrashWithoutRecovery(pf=0.1)
+        alive = list(range(50_000))
+        crash, __ = model.step(0, alive, [], _rng(1))
+        assert 0.09 < len(crash) / len(alive) < 0.11
+
+    def test_never_recovers(self):
+        model = CrashWithoutRecovery(pf=0.5)
+        __, recover = model.step(0, [1], [2, 3], _rng())
+        assert recover == set()
+
+    def test_empty_group(self):
+        model = CrashWithoutRecovery(pf=0.5)
+        assert model.step(0, [], [], _rng()) == (set(), set())
+
+
+class TestCrashRecovery:
+    def test_recovery_statistics(self):
+        model = CrashRecovery(pf=0.0, pr=0.25)
+        crashed = list(range(40_000))
+        __, recover = model.step(0, [], crashed, _rng(2))
+        assert 0.23 < len(recover) / len(crashed) < 0.27
+
+    def test_pr_validated(self):
+        with pytest.raises(ValueError):
+            CrashRecovery(pf=0.1, pr=1.5)
+
+    def test_both_directions_in_one_step(self):
+        model = CrashRecovery(pf=1.0, pr=1.0)
+        crash, recover = model.step(0, [1, 2], [3], _rng())
+        assert crash == {1, 2}
+        assert recover == {3}
+
+
+class TestScheduledFailures:
+    def test_fires_at_exact_rounds(self):
+        model = ScheduledFailures(
+            crash_at={3: [7, 8]}, recover_at={5: [7]}
+        )
+        assert model.step(2, [7, 8], [], _rng()) == (set(), set())
+        assert model.step(3, [7, 8], [], _rng()) == ({7, 8}, set())
+        assert model.step(5, [8], [7], _rng()) == (set(), {7})
+
+    def test_empty_schedule(self):
+        model = ScheduledFailures()
+        assert model.step(0, [1], [], _rng()) == (set(), set())

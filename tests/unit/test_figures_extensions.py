@@ -1,0 +1,44 @@
+"""Unit tests for the extension experiment definitions (tiny sweeps)."""
+
+from repro.experiments.figures import (
+    ext_approximate_n,
+    ext_partial_views,
+    ext_start_spread,
+)
+
+
+class TestApproximateN:
+    def test_points_match_factors(self):
+        figure = ext_approximate_n(factors=(0.5, 1.0, 2.0), n=48, runs=2)
+        assert figure.primary().xs == [0.5, 1.0, 2.0]
+        assert all(0.0 <= y <= 1.0 for y in figure.primary().ys)
+
+    def test_exact_estimate_best_or_tied(self):
+        figure = ext_approximate_n(factors=(1.0, 4.0), n=48, runs=3)
+        exact, over = figure.primary().ys
+        assert exact <= over + 0.05
+
+    def test_csv_export(self):
+        figure = ext_approximate_n(factors=(1.0,), n=32, runs=1)
+        assert figure.to_csv().startswith("estimate/N,")
+
+
+class TestStartSpread:
+    def test_zero_spread_equals_simultaneous(self):
+        figure = ext_start_spread(spreads=(0,), n=48, runs=2)
+        assert figure.primary().ys[0] < 0.05
+
+    def test_spread_axis(self):
+        figure = ext_start_spread(spreads=(0, 4), n=48, runs=2)
+        assert figure.primary().xs == [0.0, 4.0]
+
+
+class TestPartialViews:
+    def test_full_views_near_complete(self):
+        figure = ext_partial_views(fractions=(1.0,), n=48, runs=2)
+        assert figure.primary().ys[0] < 0.05
+
+    def test_smaller_views_not_better(self):
+        figure = ext_partial_views(fractions=(0.3, 1.0), n=48, runs=3)
+        small, full = figure.primary().ys
+        assert small >= full

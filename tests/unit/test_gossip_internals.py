@@ -1,0 +1,197 @@
+"""White-box tests of HierarchicalGossipProcess internals.
+
+These pin the fiddly mechanics the integration tests only exercise
+statistically: index-mapped gossipee sampling, future-phase buffering and
+drain, cascading advancement, and the global deadline arithmetic.
+"""
+
+import pytest
+
+from repro.core.aggregates import AverageAggregate
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy, SubtreeId
+from repro.core.hashing import StaticHash
+from repro.core.hierarchical_gossip import (
+    GossipParams,
+    HierarchicalGossipProcess,
+)
+from repro.core.messages import GossipBatch, GossipValue
+
+BOXES = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+VOTES = {m: float(m) for m in BOXES}
+F = AverageAggregate()
+
+
+def _assignment():
+    hierarchy = GridBoxHierarchy(8, 2)
+    return GridAssignment(hierarchy, VOTES, StaticHash(BOXES))
+
+
+def _process(member=7, **param_overrides):
+    params = GossipParams(**param_overrides)
+    process = HierarchicalGossipProcess(
+        member, VOTES[member], F, _assignment(), tuple(VOTES), params
+    )
+    process.known = {member: process.own_state()}
+    process._start_round = 0
+    return process
+
+
+class FakeCtx:
+    """Minimal Context stand-in capturing sends."""
+
+    def __init__(self, round_number=0):
+        self.round = round_number
+        self.sent = []
+        self.terminated = False
+
+    def rng_for(self, *names):
+        import numpy as np
+        return np.random.default_rng(0)
+
+    def send(self, dest, payload, size=1):
+        self.sent.append((dest, payload))
+        return True
+
+    def terminate(self):
+        self.terminated = True
+
+
+class TestPeerSampling:
+    def test_pool_excludes_self_via_index_mapping(self):
+        process = _process(7)
+        ctx = FakeCtx()
+        for __ in range(50):
+            process._gossip(ctx)
+        destinations = {dest for dest, __ in ctx.sent}
+        assert 7 not in destinations
+        assert destinations <= {3, 8}  # phase-1: own box only
+
+    def test_phase2_pool_is_height2_subtree(self):
+        process = _process(7)
+        process.phase = 2
+        process.known = {SubtreeId(2, 0): F.over({7: 7.0, 3: 3.0, 8: 8.0})}
+        ctx = FakeCtx()
+        for __ in range(80):
+            process._gossip(ctx)
+        destinations = {dest for dest, __ in ctx.sent}
+        assert destinations <= {3, 8, 6, 5}
+        assert 6 in destinations or 5 in destinations
+
+    def test_singleton_pool_sends_nothing(self):
+        process = _process(1)  # alone in box 11
+        ctx = FakeCtx()
+        process._gossip(ctx)
+        assert ctx.sent == []
+
+
+class TestBatching:
+    def test_batch_carries_whole_known_below_cap(self):
+        process = _process(7)
+        process.known[3] = F.lift(3, 3.0)
+        ctx = FakeCtx()
+        process._gossip(ctx)
+        __, payload = ctx.sent[0]
+        assert isinstance(payload, GossipBatch)
+        assert dict(payload.entries).keys() == {7, 3}
+
+    def test_batch_capped_at_max_batch(self):
+        process = _process(7, max_batch=1)
+        process.known[3] = F.lift(3, 3.0)
+        process.known[8] = F.lift(8, 8.0)
+        ctx = FakeCtx()
+        process._gossip(ctx)
+        __, payload = ctx.sent[0]
+        assert len(payload.entries) == 1
+
+    def test_single_value_mode_sends_gossip_value(self):
+        process = _process(7, batch_values=False)
+        ctx = FakeCtx()
+        process._gossip(ctx)
+        __, payload = ctx.sent[0]
+        assert isinstance(payload, GossipValue)
+
+
+class TestBuffering:
+    def _msg(self, payload):
+        class Msg:
+            pass
+        m = Msg()
+        m.payload = payload
+        m.src = 99
+        return m
+
+    def test_drain_on_advance(self):
+        process = _process(7, early_bump=True)
+        future_state = F.over({6: 6.0, 5: 5.0})
+        process.on_message(
+            None, self._msg(GossipValue(2, SubtreeId(2, 1), future_state))
+        )
+        assert SubtreeId(2, 1) in process._future[2]
+        # complete phase 1
+        process.known[3] = F.lift(3, 3.0)
+        process.known[8] = F.lift(8, 8.0)
+        ctx = FakeCtx()
+        process.phase_rounds = 1
+        process._maybe_advance(ctx)
+        assert process.phase == 3  # cascaded: buffered sibling completed 2
+        assert ctx.terminated is False  # final phase awaits deadline
+
+    def test_cascade_to_result_at_deadline(self):
+        process = _process(7, early_bump=True)
+        process.known[3] = F.lift(3, 3.0)
+        process.known[8] = F.lift(8, 8.0)
+        process.on_message(
+            None,
+            self._msg(GossipValue(2, SubtreeId(2, 1), F.over({6: 6.0,
+                                                              5: 5.0}))),
+        )
+        process.on_message(
+            None,
+            self._msg(GossipValue(3, SubtreeId(1, 1), F.over({2: 2.0,
+                                                              4: 4.0,
+                                                              1: 1.0}))),
+        )
+        deadline = process.num_phases * process.rounds_per_phase
+        ctx = FakeCtx(round_number=deadline)
+        process.phase_rounds = 1
+        process._maybe_advance(ctx)
+        assert process.result is not None
+        assert process.result.members == frozenset(VOTES)
+        assert ctx.terminated
+
+    def test_early_bump_blocked_without_full_coverage(self):
+        process = _process(7, early_bump=True)
+        process.known[3] = F.lift(3, 3.0)
+        process.known[8] = F.lift(8, 8.0)
+        ctx = FakeCtx()
+        process.phase_rounds = 1
+        process._maybe_advance(ctx)
+        assert process.phase == 2
+        # sibling 01 aggregate, but covering only one of its two members
+        process.on_message(
+            None, self._msg(GossipValue(2, SubtreeId(2, 1),
+                                        F.over({6: 6.0})))
+        )
+        process._maybe_advance(ctx)
+        assert process.phase == 2  # partial version: wait for timeout
+
+
+class TestDeadline:
+    def test_deadline_formula(self):
+        process = _process(7)
+        ctx = FakeCtx(
+            round_number=process.num_phases * process.rounds_per_phase - 1
+        )
+        assert process._deadline_reached(ctx)
+        ctx.round -= 1
+        assert not process._deadline_reached(ctx)
+
+    def test_delayed_start_shifts_deadline(self):
+        process = _process(7)
+        process.start_round = 5
+        process._start_round = 5
+
+        class Ctx:
+            round = 5 + process.num_phases * process.rounds_per_phase - 1
+
+        assert process._deadline_reached(Ctx())

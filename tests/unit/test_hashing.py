@@ -1,0 +1,129 @@
+"""Unit tests for the grid-box hash functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import FairHash, StaticHash, TopologicalHash
+
+
+class TestFairHash:
+    def test_deterministic(self):
+        h = FairHash(salt=7)
+        assert h.unit_value(123) == h.unit_value(123)
+        assert h.box_of(123, 64) == h.box_of(123, 64)
+
+    def test_unit_interval(self):
+        h = FairHash()
+        for member in range(200):
+            assert 0.0 <= h.unit_value(member) < 1.0
+
+    def test_salt_changes_placement(self):
+        a, b = FairHash(salt=0), FairHash(salt=1)
+        values_a = [a.box_of(m, 64) for m in range(100)]
+        values_b = [b.box_of(m, 64) for m in range(100)]
+        assert values_a != values_b
+
+    def test_box_in_range(self):
+        h = FairHash()
+        boxes = [h.box_of(m, 16) for m in range(1000)]
+        assert min(boxes) >= 0
+        assert max(boxes) < 16
+
+    def test_roughly_uniform(self):
+        """A fair hash puts about N/boxes members in each box."""
+        h = FairHash(salt=3)
+        counts = np.bincount(
+            [h.box_of(m, 16) for m in range(16_000)], minlength=16
+        )
+        # Expected 1000 per box; Binomial std ~ 31, so 5 sigma ~ 155.
+        assert counts.min() > 800
+        assert counts.max() < 1200
+
+    def test_arbitrary_ids(self):
+        h = FairHash()
+        assert 0 <= h.box_of(2**63 + 11, 64) < 64
+
+
+class TestTopologicalHash:
+    def _positions(self, n, seed=0):
+        rng = np.random.default_rng(seed)
+        coords = rng.random((n, 2)) * (1 - 1e-9)
+        return {i: (float(x), float(y)) for i, (x, y) in enumerate(coords)}
+
+    def test_rejects_out_of_range_positions(self):
+        with pytest.raises(ValueError):
+            TopologicalHash({0: (1.5, 0.5)}, k=4)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            TopologicalHash({0: (0.5, 0.5)}, k=1)
+
+    def test_requires_power_of_k_boxes(self):
+        h = TopologicalHash(self._positions(10), k=4)
+        with pytest.raises(ValueError):
+            h.box_of(0, 10)
+
+    def test_box_in_range(self):
+        h = TopologicalHash(self._positions(500), k=4)
+        boxes = [h.box_of(m, 64) for m in range(500)]
+        assert min(boxes) >= 0
+        assert max(boxes) < 64
+
+    def test_nearby_members_share_box(self):
+        positions = {0: (0.1, 0.1), 1: (0.1001, 0.1001), 2: (0.9, 0.9)}
+        h = TopologicalHash(positions, k=4)
+        assert h.box_of(0, 16) == h.box_of(1, 16)
+        assert h.box_of(0, 16) != h.box_of(2, 16)
+
+    def test_prefix_locality(self):
+        """Members of the same quadrant share the first address digit."""
+        positions = {
+            0: (0.1, 0.2), 1: (0.2, 0.1),   # left strip
+            2: (0.9, 0.1), 3: (0.8, 0.9),   # right strip
+        }
+        h = TopologicalHash(positions, k=4)
+        d0 = h.digits_for(0, 1)
+        d1 = h.digits_for(1, 1)
+        d2 = h.digits_for(2, 1)
+        d3 = h.digits_for(3, 1)
+        assert d0 == d1
+        assert d2 == d3
+        assert d0 != d2
+
+    def test_roughly_balanced_on_uniform_positions(self):
+        positions = self._positions(6400, seed=2)
+        h = TopologicalHash(positions, k=4)
+        counts = np.bincount(
+            [h.box_of(m, 64) for m in positions], minlength=64
+        )
+        assert counts.min() > 40
+        assert counts.max() < 180
+
+    def test_unit_value_consistent_with_boxes(self):
+        positions = self._positions(100)
+        h = TopologicalHash(positions, k=2)
+        for member in range(100):
+            value = h.unit_value(member)
+            assert 0.0 <= value < 1.0
+            assert int(value * 8) == h.box_of(member, 8)
+
+
+class TestStaticHash:
+    def test_lookup(self):
+        h = StaticHash({5: 2, 6: 0})
+        assert h.box_of(5, 4) == 2
+        assert h.box_of(6, 4) == 0
+
+    def test_out_of_range_box(self):
+        h = StaticHash({5: 9})
+        with pytest.raises(ValueError):
+            h.box_of(5, 4)
+
+    def test_unknown_member(self):
+        h = StaticHash({})
+        with pytest.raises(KeyError):
+            h.box_of(1, 4)
+
+    def test_no_unit_value(self):
+        with pytest.raises(NotImplementedError):
+            StaticHash({1: 0}).unit_value(1)

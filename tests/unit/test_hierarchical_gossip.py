@@ -1,0 +1,309 @@
+"""Unit tests for the Hierarchical Gossiping protocol process."""
+
+import pytest
+
+from repro.core.aggregates import AverageAggregate, SumAggregate
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy, SubtreeId
+from repro.core.hashing import FairHash, StaticHash
+from repro.core.hierarchical_gossip import (
+    GossipParams,
+    HierarchicalGossipProcess,
+    build_hierarchical_gossip_group,
+    rounds_per_phase_for,
+)
+from repro.core.messages import GossipBatch, GossipValue
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import LossyNetwork, Network
+from repro.sim.rng import RngRegistry
+
+
+def _figure1_world(function=None):
+    """The paper's Figure 1 example: 8 members, K=2, fixed boxes."""
+    function = function or AverageAggregate()
+    votes = {m: float(m) for m in range(1, 9)}
+    boxes = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+    hierarchy = GridBoxHierarchy(8, 2)
+    assignment = GridAssignment(hierarchy, votes, StaticHash(boxes))
+    return votes, function, assignment
+
+
+def _run(votes, function, assignment, params=None, network=None, seed=0,
+         max_rounds=200):
+    processes = build_hierarchical_gossip_group(
+        votes, function, assignment, params or GossipParams()
+    )
+    engine = SimulationEngine(
+        network=network or Network(max_message_size=1 << 20),
+        rngs=RngRegistry(seed),
+        max_rounds=max_rounds,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    return processes, engine
+
+
+class TestRoundsPerPhase:
+    def test_formula(self):
+        import math
+        assert rounds_per_phase_for(200, 1.0) == math.ceil(math.log(200))
+
+    def test_scaling_with_c(self):
+        assert rounds_per_phase_for(200, 2.0) == 2 * rounds_per_phase_for(
+            200, 1.0
+        ) or rounds_per_phase_for(200, 2.0) >= rounds_per_phase_for(200, 1.0)
+
+    def test_minimum_one(self):
+        assert rounds_per_phase_for(1, 0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rounds_per_phase_for(0, 1.0)
+        with pytest.raises(ValueError):
+            rounds_per_phase_for(10, 0.0)
+        with pytest.raises(ValueError):
+            rounds_per_phase_for(10, 1.0, fanout_m=0)
+
+
+class TestGossipParams:
+    def test_override_rounds(self):
+        assert GossipParams(rounds_per_phase=3).resolve_rounds(10_000) == 3
+
+    def test_invalid_override(self):
+        with pytest.raises(ValueError):
+            GossipParams(rounds_per_phase=0).resolve_rounds(100)
+
+
+class TestLosslessCorrectness:
+    def test_exact_average_on_figure1(self):
+        votes, function, assignment = _figure1_world()
+        processes, __ = _run(votes, function, assignment)
+        expected = sum(votes.values()) / len(votes)
+        for process in processes:
+            assert process.result is not None
+            assert function.finalize(process.result) == pytest.approx(expected)
+            assert process.result.members == frozenset(votes)
+
+    def test_exact_sum(self):
+        votes, __, assignment = _figure1_world()
+        function = SumAggregate()
+        processes, __ = _run(votes, function, assignment)
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(36.0)
+
+    def test_single_value_mode_also_converges_lossless(self):
+        votes, function, assignment = _figure1_world()
+        params = GossipParams(batch_values=False, rounds_per_phase=12)
+        processes, __ = _run(votes, function, assignment, params)
+        for process in processes:
+            assert process.result.members == frozenset(votes)
+
+    def test_fair_hash_group(self):
+        votes = {i: float(i % 5) for i in range(50)}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(50, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(salt=2))
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            rngs=RngRegistry(0), max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        expected = sum(votes.values()) / 50
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(expected)
+
+    def test_runs_finish_by_global_deadline(self):
+        votes, function, assignment = _figure1_world()
+        params = GossipParams(rounds_per_phase=4)
+        __, engine = _run(votes, function, assignment, params)
+        assert engine.round <= 4 * assignment.hierarchy.num_phases + 1
+
+
+class TestDegenerateGroups:
+    def test_single_member_group(self):
+        votes = {42: 7.5}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(1, 2)
+        assignment = GridAssignment(hierarchy, votes, FairHash())
+        processes, __ = _run(votes, function, assignment)
+        assert function.finalize(processes[0].result) == 7.5
+
+    def test_two_members(self):
+        votes = {0: 1.0, 1: 3.0}
+        function = AverageAggregate()
+        hierarchy = GridBoxHierarchy(2, 2)
+        assignment = GridAssignment(hierarchy, votes, FairHash(salt=1))
+        processes, __ = _run(votes, function, assignment)
+        for process in processes:
+            assert function.finalize(process.result) == pytest.approx(2.0)
+
+    def test_all_members_in_one_box(self):
+        """Adversarial layout: everyone crammed in one grid box still
+        converges given a round budget sized to the box, not to K."""
+        votes = {m: float(m) for m in range(6)}
+        hierarchy = GridBoxHierarchy(6, 2)
+        assignment = GridAssignment(
+            hierarchy, votes, StaticHash({m: 0 for m in votes})
+        )
+        function = AverageAggregate()
+        params = GossipParams(rounds_per_phase=10, max_batch=6)
+        processes, __ = _run(votes, function, assignment, params)
+        for process in processes:
+            assert process.result.members == frozenset(votes)
+
+
+class TestMessageHandling:
+    def _process(self, member=7, params=None):
+        votes, function, assignment = _figure1_world()
+        return HierarchicalGossipProcess(
+            node_id=member,
+            vote=votes[member],
+            function=function,
+            assignment=assignment,
+            view=tuple(votes),
+            params=params or GossipParams(),
+        )
+
+    def test_stale_phase_ignored(self):
+        process = self._process()
+        process.known = {process.node_id: process.own_state()}
+        process.phase = 2
+        stale = GossipValue(1, 3, AverageAggregate().lift(3, 3.0))
+
+        class FakeMessage:
+            payload = stale
+
+        process.on_message(None, FakeMessage())
+        assert 3 not in process.known
+
+    def test_future_phase_buffered(self):
+        process = self._process()
+        process.known = {process.node_id: process.own_state()}
+        state = AverageAggregate().over({2: 2.0, 4: 4.0, 1: 1.0})
+        future = GossipValue(3, SubtreeId(1, 1), state)
+
+        class FakeMessage:
+            payload = future
+
+        process.on_message(None, FakeMessage())
+        assert process._future[3][SubtreeId(1, 1)] is state
+
+    def test_current_phase_accepted(self):
+        process = self._process()
+        process.known = {process.node_id: process.own_state()}
+        vote = AverageAggregate().lift(3, 3.0)
+
+        class FakeMessage:
+            payload = GossipValue(1, 3, vote)
+
+        process.on_message(None, FakeMessage())
+        assert process.known[3] is vote
+
+    def test_batch_accepted(self):
+        process = self._process()
+        process.known = {process.node_id: process.own_state()}
+        f = AverageAggregate()
+        batch = GossipBatch(1, ((3, f.lift(3, 3.0)), (8, f.lift(8, 8.0))))
+
+        class FakeMessage:
+            payload = batch
+
+        process.on_message(None, FakeMessage())
+        assert set(process.known) == {7, 3, 8}
+
+    def test_coverage_preference_upgrades(self):
+        process = self._process()
+        process.phase = 2
+        f = AverageAggregate()
+        key = SubtreeId(2, 1)
+        small = f.over({5: 5.0})
+        big = f.over({5: 5.0, 6: 6.0})
+        process.known = {}
+
+        class Msg:
+            def __init__(self, payload):
+                self.payload = payload
+
+        process.on_message(None, Msg(GossipValue(2, key, small)))
+        process.on_message(None, Msg(GossipValue(2, key, big)))
+        assert process.known[key] is big
+        # And never downgrades:
+        process.on_message(None, Msg(GossipValue(2, key, small)))
+        assert process.known[key] is big
+
+    def test_first_wins_ablation(self):
+        process = self._process(params=GossipParams(prefer_coverage=False))
+        process.phase = 2
+        f = AverageAggregate()
+        key = SubtreeId(2, 1)
+        small = f.over({5: 5.0})
+        big = f.over({5: 5.0, 6: 6.0})
+        process.known = {}
+
+        class Msg:
+            def __init__(self, payload):
+                self.payload = payload
+
+        process.on_message(None, Msg(GossipValue(2, key, small)))
+        process.on_message(None, Msg(GossipValue(2, key, big)))
+        assert process.known[key] is small
+
+    def test_unknown_payload_ignored(self):
+        process = self._process()
+        process.known = {process.node_id: process.own_state()}
+
+        class FakeMessage:
+            payload = "garbage"
+
+        process.on_message(None, FakeMessage())
+        assert set(process.known) == {7}
+
+
+class TestExpectedKeys:
+    def test_phase1_is_box(self):
+        process_view = _figure1_world()
+        votes, function, assignment = process_view
+        process = HierarchicalGossipProcess(
+            7, votes[7], function, assignment, tuple(votes), GossipParams()
+        )
+        assert process._expected_keys(1) == frozenset({7, 3, 8})
+
+    def test_phase2_children(self):
+        votes, function, assignment = _figure1_world()
+        process = HierarchicalGossipProcess(
+            7, votes[7], function, assignment, tuple(votes), GossipParams()
+        )
+        assert process._expected_keys(2) == frozenset(
+            {SubtreeId(2, 0), SubtreeId(2, 1)}
+        )
+
+    def test_partial_view_limits_expectations(self):
+        votes, function, assignment = _figure1_world()
+        process = HierarchicalGossipProcess(
+            7, votes[7], function, assignment, (7, 3), GossipParams()
+        )
+        assert process._expected_keys(1) == frozenset({7, 3})
+
+
+class TestWireDiscipline:
+    def test_single_value_messages_fit_tight_bound(self):
+        """Strict protocol text: every message is a couple of scalars."""
+        votes, function, assignment = _figure1_world()
+        params = GossipParams(batch_values=False)
+        processes, engine = _run(
+            votes, function, assignment, params,
+            network=Network(max_message_size=40),
+        )
+        assert engine.network.stats.sent > 0  # nothing raised
+
+    def test_batch_messages_fit_k_scaled_bound(self):
+        votes, function, assignment = _figure1_world()
+        # K=2 -> at most 2 values of (id + (sum, count)) + header.
+        processes, engine = _run(
+            votes, function, assignment, GossipParams(),
+            network=Network(max_message_size=8 + 2 * (8 + 16)),
+        )
+        assert engine.network.stats.sent > 0

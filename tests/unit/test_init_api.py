@@ -1,0 +1,47 @@
+"""Tests for the top-level package API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "aggregate_once", "run_once", "with_params", "PAPER_DEFAULTS",
+            "GridBoxHierarchy", "GossipParams", "MonitoringSession",
+            "build_mib_group", "measure_completeness",
+        ):
+            assert name in repro.__all__
+
+
+class TestAggregateOnce:
+    def test_returns_run_result(self):
+        result = repro.aggregate_once({i: 1.0 for i in range(16)}, seed=1)
+        assert isinstance(result, repro.RunResult)
+        assert result.true_value == 1.0
+
+    def test_respects_aggregate_choice(self):
+        votes = {0: 1.0, 1: 9.0, 2: 5.0, 3: 5.0}
+        result = repro.aggregate_once(votes, aggregate="max", seed=0)
+        assert result.true_value == 9.0
+
+    def test_faulty_network_parameters(self):
+        result = repro.aggregate_once(
+            {i: float(i) for i in range(64)},
+            ucastl=0.4, pf=0.01, fanout_m=3, rounds_factor_c=1.5, seed=2,
+        )
+        assert 0.0 <= result.completeness <= 1.0
+        assert result.messages_dropped > 0
+
+    def test_single_vote_group(self):
+        result = repro.aggregate_once({42: 3.0}, seed=0)
+        assert result.completeness == 1.0
+        assert result.true_value == 3.0

@@ -1,0 +1,108 @@
+"""Deeper unit tests for the leader-election baseline internals."""
+
+import pytest
+
+from repro.baselines.leader_election import (
+    LeaderElectionProcess,
+    build_leader_election_group,
+)
+from repro.core.aggregates import AverageAggregate
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy
+from repro.core.hashing import StaticHash
+from repro.core.protocol import measure_completeness
+from repro.sim.engine import SimulationEngine
+from repro.sim.failures import ScheduledFailures
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+# Figure 1 layout: deterministic roles.
+BOXES = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+VOTES = {m: float(m) for m in BOXES}
+
+
+def _group(committee_size=1):
+    hierarchy = GridBoxHierarchy(8, 2)
+    assignment = GridAssignment(hierarchy, BOXES, StaticHash(BOXES))
+    return build_leader_election_group(
+        VOTES, AverageAggregate(), assignment,
+        committee_size=committee_size,
+    )
+
+
+class TestRoles:
+    def test_leader_heights_deterministic(self):
+        processes = {p.node_id: p for p in _group()}
+        # Box leaders are the smallest ids per box: 3, 5, 2, 1.
+        assert processes[3].leader_height >= 1
+        assert processes[5].leader_height >= 1
+        assert processes[2].leader_height >= 1
+        assert processes[1].leader_height >= 1
+        # Non-leaders have height 0.
+        assert processes[7].leader_height == 0
+        assert processes[8].leader_height == 0
+
+    def test_root_leader_is_global_minimum(self):
+        processes = {p.node_id: p for p in _group()}
+        hierarchy_height = max(p.leader_height for p in processes.values())
+        root_leaders = [
+            p.node_id for p in processes.values()
+            if p.leader_height == hierarchy_height
+        ]
+        assert root_leaders == [1]  # smallest id overall
+
+    def test_committee_size_two(self):
+        processes = {p.node_id: p for p in _group(committee_size=2)}
+        # Two smallest ids overall lead the root: 1 and 2.
+        top = max(p.leader_height for p in processes.values())
+        roots = sorted(
+            p.node_id for p in processes.values() if p.leader_height == top
+        )
+        assert roots == [1, 2]
+
+
+class TestScheduleMapping:
+    def test_phase_of_round(self):
+        process = _group()[0]
+        rpp = process.rounds_per_phase
+        phases = process.num_phases
+        assert process._phase_of_round(0) == ("aggregate", 1, 0)
+        assert process._phase_of_round(rpp) == ("aggregate", 2, 0)
+        assert process._phase_of_round(phases * rpp) == (
+            "disseminate", 1, 0,
+        )
+        assert process._phase_of_round(2 * phases * rpp)[0] == "done"
+
+
+class TestFaultWindows:
+    def test_crash_before_any_report_loses_only_that_vote(self):
+        processes = _group()
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            failure_model=ScheduledFailures(crash_at={0: [7]}),
+            rngs=RngRegistry(0),
+            max_rounds=300,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, group_size=8)
+        # 7 was a plain member: survivors get everything except its vote,
+        # i.e. full survivor-relative completeness.
+        assert report.mean_completeness == pytest.approx(1.0)
+        assert report.mean_completeness_initial == pytest.approx(7 / 8)
+
+    def test_box_leader_crash_after_phase1_loses_box(self):
+        """Crash box 00's leader (M3) right after it composed phase 1 but
+        before its report travels — M7/M3/M8's votes vanish upward."""
+        processes = _group()
+        rpp = processes[0].rounds_per_phase
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            failure_model=ScheduledFailures(crash_at={rpp: [3]}),
+            rngs=RngRegistry(0),
+            max_rounds=300,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        root = next(p for p in processes if p.node_id == 1)
+        # The global estimate at the root leader misses box 00 entirely.
+        assert not ({7, 8} & root.result.members)

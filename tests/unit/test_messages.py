@@ -1,0 +1,66 @@
+"""Unit tests for wire message payloads and size accounting."""
+
+from repro.core.aggregates import AverageAggregate, SumAggregate
+from repro.core.gridbox import SubtreeId
+from repro.core.messages import (
+    ID_SIZE,
+    AggregateReport,
+    Dissemination,
+    GossipBatch,
+    GossipValue,
+    VoteReport,
+)
+
+F = AverageAggregate()
+
+
+class TestGossipValue:
+    def test_wire_size_includes_header_and_payload(self):
+        value = GossipValue(1, 3, F.lift(3, 1.0))
+        # phase + key + (sum, count)
+        assert value.wire_size() == 2 * ID_SIZE + 16
+
+    def test_frozen(self):
+        value = GossipValue(1, 3, F.lift(3, 1.0))
+        try:
+            value.phase = 2
+            assert False, "should be immutable"
+        except AttributeError:
+            pass
+
+
+class TestGossipBatch:
+    def test_size_scales_with_entries(self):
+        one = GossipBatch(1, ((3, F.lift(3, 1.0)),))
+        two = GossipBatch(
+            1, ((3, F.lift(3, 1.0)), (4, F.lift(4, 2.0)))
+        )
+        assert two.wire_size() == one.wire_size() + ID_SIZE + 16
+
+    def test_empty_batch_has_header(self):
+        assert GossipBatch(1, ()).wire_size() == ID_SIZE
+
+    def test_subtree_keys_supported(self):
+        batch = GossipBatch(
+            2, ((SubtreeId(2, 1), F.over({1: 1.0, 2: 2.0})),)
+        )
+        assert batch.wire_size() == ID_SIZE + ID_SIZE + 16
+
+
+class TestReports:
+    def test_vote_report(self):
+        report = VoteReport(5, SumAggregate().lift(5, 2.0))
+        assert report.wire_size() == ID_SIZE + 8
+
+    def test_aggregate_report(self):
+        report = AggregateReport(SubtreeId(1, 0), F.over({1: 1.0}))
+        assert report.wire_size() == ID_SIZE + 16
+
+    def test_dissemination(self):
+        packet = Dissemination(F.over({1: 1.0, 2: 2.0}))
+        assert packet.wire_size() == 16
+
+    def test_sizes_do_not_grow_with_members_covered(self):
+        small = Dissemination(F.over({1: 1.0}))
+        large = Dissemination(F.over({i: 1.0 for i in range(500)}))
+        assert small.wire_size() == large.wire_size()

@@ -1,0 +1,86 @@
+"""Unit tests for the per-round metrics collection."""
+
+from repro.sim.engine import Process, SimulationEngine
+from repro.sim.failures import ScheduledFailures
+from repro.sim.metrics import RoundMetrics
+from repro.sim.network import LossyNetwork, Network
+from repro.sim.rng import RngRegistry
+
+
+class Pinger(Process):
+    """Sends ``rate`` messages per round for ``rounds`` rounds."""
+
+    def __init__(self, node_id, peer, rate=1, rounds=4, size=10):
+        super().__init__(node_id)
+        self.peer = peer
+        self.rate = rate
+        self.rounds = rounds
+        self.size = size
+
+    def on_round(self, ctx):
+        for __ in range(self.rate):
+            ctx.send(self.peer, "ping", size=self.size)
+        if ctx.round + 1 >= self.rounds:
+            ctx.terminate()
+
+
+def _run(processes, network=None, failures=None):
+    metrics = RoundMetrics()
+    engine = SimulationEngine(
+        network=network or Network(max_message_size=1 << 20),
+        failure_model=failures,
+        rngs=RngRegistry(0),
+        max_rounds=100,
+        metrics=metrics,
+    )
+    engine.add_processes(processes)
+    engine.run()
+    return metrics
+
+
+class TestRoundMetrics:
+    def test_one_sample_per_round(self):
+        metrics = _run([Pinger(0, 1, rounds=5), Pinger(1, 0, rounds=5)])
+        assert len(metrics.samples) == 5
+        assert [s.round for s in metrics.samples] == list(range(5))
+
+    def test_messages_per_round_are_deltas(self):
+        metrics = _run([Pinger(0, 1, rate=3), Pinger(1, 0, rate=2)])
+        assert metrics.messages_per_round() == [5, 5, 5, 5]
+
+    def test_peak_member_rate(self):
+        metrics = _run([Pinger(0, 1, rate=3), Pinger(1, 0, rate=2)])
+        assert metrics.peak_member_rate() == 3
+
+    def test_mean_bytes_per_message(self):
+        metrics = _run([Pinger(0, 1, size=10), Pinger(1, 0, size=30)])
+        assert metrics.mean_bytes_per_message() == 20.0
+
+    def test_live_members_track_crashes(self):
+        metrics = _run(
+            [Pinger(0, 1, rounds=6), Pinger(1, 0, rounds=6)],
+            failures=ScheduledFailures(crash_at={3: [1]}),
+        )
+        live = [s.live_members for s in metrics.samples]
+        assert live[0] == 2
+        assert live[-1] == 1
+
+    def test_drops_counted(self):
+        metrics = _run(
+            [Pinger(0, 1), Pinger(1, 0)],
+            network=LossyNetwork(1.0, max_message_size=1 << 20),
+        )
+        assert sum(s.messages_dropped for s in metrics.samples) == 8
+
+    def test_render_has_bars(self):
+        metrics = _run([Pinger(0, 1), Pinger(1, 0)])
+        text = metrics.render(width=10)
+        assert "round" in text
+        assert "#" in text
+
+    def test_empty_render(self):
+        assert "no rounds" in RoundMetrics().render()
+
+    def test_zero_messages_mean(self):
+        assert RoundMetrics().mean_bytes_per_message() == 0.0
+        assert RoundMetrics().peak_member_rate() == 0

@@ -1,0 +1,165 @@
+"""Unit tests for the continuous (Astrolabe-style) MIB layer."""
+
+import pytest
+
+from repro.core import (
+    FairHash,
+    GridAssignment,
+    GridBoxHierarchy,
+    get_aggregate,
+)
+from repro.mib import MibProcess, MibSlice, build_mib_group
+from repro.sim import (
+    LossyNetwork,
+    Network,
+    RngRegistry,
+    ScheduledFailures,
+    SimulationEngine,
+)
+
+TRUE = lambda votes: sum(votes.values()) / len(votes)  # noqa: E731
+
+
+def _world(n=64, ucastl=0.0, seed=0, failures=None, fanout=1):
+    votes = {i: float(i) for i in range(n)}
+    function = get_aggregate("average")
+    assignment = GridAssignment(
+        GridBoxHierarchy(n, 4), votes, FairHash(0)
+    )
+    processes = build_mib_group(votes, function, assignment, fanout)
+    engine = SimulationEngine(
+        network=LossyNetwork(ucastl, max_message_size=1 << 20),
+        failure_model=failures,
+        rngs=RngRegistry(seed),
+        max_rounds=10_000,
+    )
+    engine.add_processes(processes)
+    return votes, processes, engine
+
+
+def _advance(engine, rounds):
+    target = engine.round + rounds
+    engine.run(until=lambda: engine.round >= target)
+
+
+class TestConvergence:
+    def test_queries_converge_to_truth(self):
+        votes, processes, engine = _world()
+        _advance(engine, 30)
+        expected = TRUE(votes)
+        for process in processes:
+            assert process.query_value() == pytest.approx(expected)
+
+    def test_query_before_any_gossip(self):
+        votes, processes, engine = _world()
+        # No rounds executed: MIB holds only the initial refresh.
+        process = processes[0]
+        process.on_start(type("Ctx", (), {"round": 0})())
+        value = process.query_value()
+        assert value is not None  # own lineage only
+
+    def test_vote_change_propagates(self):
+        votes, processes, engine = _world()
+        _advance(engine, 30)
+        processes[5].set_vote(500.0)
+        _advance(engine, 40)
+        new_votes = dict(votes)
+        new_votes[5] = 500.0
+        expected = TRUE(new_votes)
+        for process in processes:
+            assert process.query_value() == pytest.approx(expected)
+
+    def test_repeated_changes_latest_wins(self):
+        votes, processes, engine = _world()
+        _advance(engine, 20)
+        processes[0].set_vote(100.0)
+        _advance(engine, 5)
+        processes[0].set_vote(200.0)
+        _advance(engine, 40)
+        new_votes = dict(votes)
+        new_votes[0] = 200.0
+        assert processes[-1].query_value() == pytest.approx(TRUE(new_votes))
+
+    def test_convergence_under_loss(self):
+        votes, processes, engine = _world(ucastl=0.4, seed=3)
+        _advance(engine, 80)
+        expected = TRUE(votes)
+        values = [p.query_value() for p in processes]
+        close = sum(
+            1 for v in values if abs(v - expected) < 1e-9
+        )
+        assert close > 0.9 * len(processes)
+
+
+class TestFreshness:
+    def test_stale_row_never_overwrites_fresh(self):
+        votes, processes, engine = _world()
+        process = processes[0]
+        _advance(engine, 10)
+        fresh = process.mib[1][process.node_id]
+        stale = MibSlice(1, ((process.node_id,
+                              type(fresh)(fresh.state, -1)),))
+
+        class Msg:
+            payload = stale
+
+        process.on_message(None, Msg())
+        assert process.mib[1][process.node_id].freshness == fresh.freshness
+
+    def test_invalid_level_ignored(self):
+        votes, processes, engine = _world()
+        process = processes[0]
+        before = [dict(level) for level in process.mib]
+
+        class Msg:
+            payload = MibSlice(99, ())
+
+        process.on_message(None, Msg())
+        assert [dict(level) for level in process.mib] == before
+
+
+class TestCrashes:
+    def test_crashed_member_values_persist(self):
+        """No failure detection: a dead member's last vote stays in the
+        aggregate (the paper's model; reconfiguration is out of scope)."""
+        votes, processes, engine = _world(
+            failures=ScheduledFailures(crash_at={15: [0]})
+        )
+        _advance(engine, 50)
+        expected = TRUE(votes)  # including the dead member's vote
+        survivors = [p for p in processes if p.alive]
+        for process in survivors[:10]:
+            assert process.query_value() == pytest.approx(expected)
+
+
+class TestStructure:
+    def test_level_rows_bounded_by_k(self):
+        votes, processes, engine = _world()
+        _advance(engine, 30)
+        hierarchy = processes[0].assignment.hierarchy
+        for process in processes:
+            for level in range(2, process.levels + 1):
+                assert len(process.mib[level]) <= hierarchy.k
+
+    def test_query_level_inspection(self):
+        votes, processes, engine = _world()
+        _advance(engine, 30)
+        top = processes[0].query_level(processes[0].levels)
+        assert len(top) >= 1
+        assert all(isinstance(v, float) for v in top.values())
+
+    def test_fanout_validated(self):
+        votes = {0: 1.0}
+        assignment = GridAssignment(
+            GridBoxHierarchy(1, 2), votes, FairHash(0)
+        )
+        with pytest.raises(ValueError):
+            MibProcess(0, 1.0, get_aggregate("average"), assignment,
+                       fanout_m=0)
+
+    def test_message_rate_is_levels_times_fanout(self):
+        votes, processes, engine = _world(n=64, fanout=2)
+        _advance(engine, 10)
+        per_member_per_round = engine.network.stats.sent / (64 * 10)
+        levels = processes[0].levels
+        assert per_member_per_round <= levels * 2 + 0.01

@@ -1,0 +1,94 @@
+"""Unit tests for the periodic MonitoringSession extension."""
+
+import pytest
+
+from repro.monitoring import EpochResult, MonitoringSession, Trigger
+
+
+def constant_votes(value=5.0):
+    def sample(epoch, members, rng):
+        return {m: value for m in members}
+    return sample
+
+
+def drifting_votes(epoch, members, rng):
+    return {m: 10.0 + epoch for m in members}
+
+
+class TestTrigger:
+    def test_above(self):
+        trigger = Trigger("hot", threshold=30.0)
+        assert trigger.fires(31.0)
+        assert not trigger.fires(30.0)
+
+    def test_below(self):
+        trigger = Trigger("cold", threshold=0.0, direction="below")
+        assert trigger.fires(-1.0)
+        assert not trigger.fires(0.5)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            Trigger("bad", 0.0, direction="sideways")
+
+
+class TestMonitoringSession:
+    def test_epochs_track_truth(self):
+        session = MonitoringSession(
+            group_size=64, sample_votes=drifting_votes, seed=1
+        )
+        results = session.run_epochs(3)
+        assert [r.true_value for r in results] == [10.0, 11.0, 12.0]
+        for result in results:
+            assert result.mean_completeness == 1.0
+            assert result.estimate_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_crashes_accumulate_across_epochs(self):
+        session = MonitoringSession(
+            group_size=100, sample_votes=constant_votes(), pf=0.01, seed=2
+        )
+        results = session.run_epochs(4)
+        sizes = [r.group_size for r in results]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] < sizes[0]
+        assert session.alive_count == results[-1].survivors
+
+    def test_triggers_counted(self):
+        session = MonitoringSession(
+            group_size=32, sample_votes=drifting_votes, seed=3
+        )
+        session.add_trigger(Trigger("hot", threshold=10.5))
+        results = session.run_epochs(2)
+        # epoch 0: estimate 10.0 (below), epoch 1: 11.0 (above at all)
+        assert results[0].trigger_counts["hot"] == 0
+        assert results[1].trigger_counts["hot"] == results[1].survivors
+
+    def test_vote_map_must_cover_members(self):
+        session = MonitoringSession(
+            group_size=8,
+            sample_votes=lambda e, members, rng: {members[0]: 1.0},
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            session.run_epoch()
+
+    def test_dead_group_stops(self):
+        session = MonitoringSession(
+            group_size=4, sample_votes=constant_votes(), seed=0
+        )
+        session.members = []
+        assert session.run_epoch() is None
+        assert session.run_epochs(3) == []
+
+    def test_deterministic_given_seed(self):
+        a = MonitoringSession(64, constant_votes(), ucastl=0.3, seed=9)
+        b = MonitoringSession(64, constant_votes(), ucastl=0.3, seed=9)
+        ra = a.run_epochs(2)
+        rb = b.run_epochs(2)
+        assert [r.mean_completeness for r in ra] == [
+            r.mean_completeness for r in rb
+        ]
+        assert [r.messages for r in ra] == [r.messages for r in rb]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitoringSession(0, constant_votes())

@@ -1,0 +1,168 @@
+"""Unit tests for the unreliable network models."""
+
+import pytest
+
+from repro.sim.network import (
+    LossyNetwork,
+    Message,
+    MessageTooLarge,
+    Network,
+    PartitionedNetwork,
+    TopologyNetwork,
+)
+from repro.sim.rng import RngRegistry
+
+
+def _send(network, rngs, src=0, dest=1, size=1, sent_round=0):
+    return network.plan_delivery(
+        Message(src=src, dest=dest, payload="x", size=size,
+                sent_round=sent_round),
+        rngs,
+    )
+
+
+class TestBaseNetwork:
+    def test_lossless_delivers_next_round(self):
+        network = Network()
+        outcome = _send(network, RngRegistry(0), sent_round=5)
+        assert outcome == 6
+
+    def test_latency_configurable(self):
+        network = Network(latency_rounds=3)
+        assert _send(network, RngRegistry(0), sent_round=2) == 5
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Network(latency_rounds=0)
+
+    def test_oversized_message_raises(self):
+        network = Network(max_message_size=8)
+        with pytest.raises(MessageTooLarge):
+            _send(network, RngRegistry(0), size=9)
+
+    def test_bandwidth_cap_rejects_excess(self):
+        network = Network(max_sends_per_round=2)
+        rngs = RngRegistry(0)
+        assert _send(network, rngs) is not Network.REJECTED
+        assert _send(network, rngs) is not Network.REJECTED
+        assert _send(network, rngs) is Network.REJECTED
+        assert network.stats.rejected_bandwidth == 1
+
+    def test_bandwidth_cap_is_per_sender(self):
+        network = Network(max_sends_per_round=1)
+        rngs = RngRegistry(0)
+        assert _send(network, rngs, src=0) is not Network.REJECTED
+        assert _send(network, rngs, src=1) is not Network.REJECTED
+
+    def test_bandwidth_resets_each_round(self):
+        network = Network(max_sends_per_round=1)
+        rngs = RngRegistry(0)
+        _send(network, rngs)
+        network.begin_round(1)
+        assert _send(network, rngs, sent_round=1) is not Network.REJECTED
+
+    def test_stats_accumulate(self):
+        network = Network()
+        rngs = RngRegistry(0)
+        _send(network, rngs, size=4)
+        _send(network, rngs, size=6)
+        assert network.stats.sent == 2
+        assert network.stats.bytes_sent == 10
+        assert network.stats.dropped == 0
+
+
+class TestLossyNetwork:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            LossyNetwork(ucastl=1.5)
+
+    def test_zero_loss_never_drops(self):
+        network = LossyNetwork(ucastl=0.0)
+        rngs = RngRegistry(1)
+        for __ in range(100):
+            assert _send(network, rngs) is not None
+
+    def test_full_loss_always_drops(self):
+        network = LossyNetwork(ucastl=1.0)
+        rngs = RngRegistry(1)
+        for __ in range(50):
+            assert _send(network, rngs) is None
+        assert network.stats.dropped == 50
+
+    def test_loss_rate_statistics(self):
+        network = LossyNetwork(ucastl=0.3)
+        rngs = RngRegistry(2)
+        outcomes = [_send(network, rngs) for __ in range(20_000)]
+        dropped = sum(1 for outcome in outcomes if outcome is None)
+        assert 0.27 < dropped / 20_000 < 0.33
+
+
+class TestPartitionedNetwork:
+    def _network(self, partl=1.0, ucastl=0.0):
+        return PartitionedNetwork(
+            partition_of=lambda node: 0 if node < 10 else 1,
+            partl=partl,
+            ucastl=ucastl,
+        )
+
+    def test_cross_partition_uses_partl(self):
+        network = self._network(partl=1.0, ucastl=0.0)
+        rngs = RngRegistry(0)
+        assert _send(network, rngs, src=1, dest=2) is not None  # same side
+        assert _send(network, rngs, src=1, dest=15) is None     # crossing
+        assert network.stats.dropped_cross_partition == 1
+
+    def test_mapping_accepted(self):
+        network = PartitionedNetwork(
+            partition_of={0: 0, 1: 1}, partl=1.0, ucastl=0.0
+        )
+        rngs = RngRegistry(0)
+        assert _send(network, rngs, src=0, dest=1) is None
+
+    def test_partl_validated(self):
+        with pytest.raises(ValueError):
+            self._network(partl=-0.1)
+
+    def test_cross_partition_rate(self):
+        network = self._network(partl=0.6, ucastl=0.0)
+        rngs = RngRegistry(3)
+        drops = sum(
+            1 for __ in range(10_000)
+            if _send(network, rngs, src=0, dest=11) is None
+        )
+        assert 0.56 < drops / 10_000 < 0.64
+
+
+class TestTopologyNetwork:
+    def _hops(self, src, dest):
+        table = {(0, 1): 1, (0, 2): 3, (0, 9): None}
+        return table.get((src, dest), 1)
+
+    def test_latency_tracks_hops(self):
+        network = TopologyNetwork(hops=self._hops, hop_loss=0.0)
+        rngs = RngRegistry(0)
+        assert _send(network, rngs, src=0, dest=1, sent_round=0) == 1
+        assert _send(network, rngs, src=0, dest=2, sent_round=0) == 3
+
+    def test_unroutable_always_lost(self):
+        network = TopologyNetwork(hops=self._hops, hop_loss=0.0)
+        rngs = RngRegistry(0)
+        assert _send(network, rngs, src=0, dest=9) is None
+
+    def test_loss_compounds_with_hops(self):
+        network = TopologyNetwork(hops=self._hops, hop_loss=0.2)
+        one_hop = Message(src=0, dest=1, payload="x")
+        three_hops = Message(src=0, dest=2, payload="x")
+        assert network.loss_probability(one_hop) == pytest.approx(0.2)
+        assert network.loss_probability(three_hops) == pytest.approx(
+            1 - 0.8**3
+        )
+
+    def test_self_message_is_free(self):
+        network = TopologyNetwork(hops=self._hops, hop_loss=0.9)
+        message = Message(src=5, dest=5, payload="x")
+        assert network.loss_probability(message) == pytest.approx(0.0)
+
+    def test_hop_loss_validated(self):
+        with pytest.raises(ValueError):
+            TopologyNetwork(hops=self._hops, hop_loss=2.0)

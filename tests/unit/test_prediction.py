@@ -1,0 +1,53 @@
+"""Unit tests for the mean-field completeness predictor."""
+
+import pytest
+
+from repro.analysis.prediction import (
+    predict_completeness,
+    predict_incompleteness,
+)
+
+
+class TestPredictCompleteness:
+    def test_in_unit_interval(self):
+        for n in (50, 200, 1000):
+            for ucastl in (0.0, 0.3, 0.7):
+                value = predict_completeness(n, ucastl=ucastl)
+                assert 0.0 <= value <= 1.0
+
+    def test_monotone_in_loss(self):
+        values = [
+            predict_completeness(200, ucastl=u)
+            for u in (0.0, 0.2, 0.4, 0.6, 0.8)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_rounds(self):
+        values = [
+            predict_completeness(200, ucastl=0.3, rounds_per_phase=r)
+            for r in (2, 4, 6, 8)
+        ]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_c(self):
+        low = predict_completeness(200, ucastl=0.3, rounds_factor_c=0.5)
+        high = predict_completeness(200, ucastl=0.3, rounds_factor_c=2.0)
+        assert high >= low
+
+    def test_lossless_generous_rounds_near_one(self):
+        value = predict_completeness(200, ucastl=0.0, rounds_factor_c=3.0)
+        assert value > 0.999
+
+    def test_incompleteness_complement(self):
+        assert predict_incompleteness(100, ucastl=0.2) == pytest.approx(
+            1.0 - predict_completeness(100, ucastl=0.2)
+        )
+
+    def test_loss_validated(self):
+        with pytest.raises(ValueError):
+            predict_completeness(100, ucastl=1.5)
+
+    def test_bigger_batch_helps_big_boxes(self):
+        small = predict_completeness(200, k=4, max_batch=1, ucastl=0.25)
+        large = predict_completeness(200, k=4, max_batch=8, ucastl=0.25)
+        assert large >= small

@@ -1,0 +1,79 @@
+"""Unit tests for the product-of-aggregates composition."""
+
+import pytest
+
+from repro.core.aggregates import (
+    AverageAggregate,
+    DoubleCountError,
+    MaxAggregate,
+    MinAggregate,
+    ProductAggregate,
+    TopKAggregate,
+)
+
+
+def _product():
+    return ProductAggregate(
+        [AverageAggregate(), MinAggregate(), MaxAggregate()]
+    )
+
+
+class TestProductAggregate:
+    def test_scalar_vote_broadcasts_to_components(self):
+        f = _product()
+        state = f.lift(0, 5.0)
+        assert f.finalize(state) == (5.0, 5.0, 5.0)
+
+    def test_vector_vote_per_component(self):
+        f = _product()
+        state = f.lift(0, (1.0, 2.0, 3.0))
+        assert f.finalize(state) == (1.0, 2.0, 3.0)
+
+    def test_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            _product().lift(0, (1.0, 2.0))
+
+    def test_matches_components_run_separately(self):
+        f = _product()
+        votes = {i: float(i * 3 % 7) for i in range(20)}
+        combined = f.finalize(f.over(votes))
+        separate = tuple(
+            component.finalize(component.over(votes))
+            for component in f.functions
+        )
+        assert combined == separate
+
+    def test_finalize_each_names_components(self):
+        f = _product()
+        results = f.finalize_each(f.over({0: 1.0, 1: 3.0}))
+        assert results == {"average": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_composability(self):
+        f = _product()
+        votes = {i: float(i) for i in range(10)}
+        left = f.over({m: v for m, v in votes.items() if m < 5})
+        right = f.over({m: v for m, v in votes.items() if m >= 5})
+        assert f.finalize(f.merge(left, right)) == f.finalize(f.over(votes))
+
+    def test_double_count_guard(self):
+        f = _product()
+        with pytest.raises(DoubleCountError):
+            f.merge(f.lift(1, 0.0), f.lift(1, 0.0))
+
+    def test_with_overriding_components(self):
+        """Components that override lift (TopK) still work in a product."""
+        f = ProductAggregate([TopKAggregate(k=2), AverageAggregate()])
+        state = f.over({i: float(i) for i in range(5)})
+        topk_payload, average_payload = state.payload
+        assert topk_payload == ((4.0, 4), (3.0, 3))
+        assert average_payload == (10.0, 5)
+
+    def test_wire_size_is_sum_of_parts(self):
+        f = _product()
+        state = f.lift(0, 1.0)
+        # (sum,count) + min + max = 4 scalars
+        assert state.wire_size() == 32
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            ProductAggregate([])

@@ -1,0 +1,93 @@
+"""Unit tests for the reporting/rendering helpers."""
+
+from repro.experiments.reporting import (
+    FigureResult,
+    Series,
+    TableResult,
+    render_sparkline,
+    render_table,
+)
+
+
+def _figure():
+    measured = Series("measured", xs=[10, 20], ys=[0.1, 0.01])
+    reference = Series("1/N", xs=[10, 20], ys=[0.1, 0.05])
+    return FigureResult(
+        figure_id="figX",
+        title="demo",
+        x_label="N",
+        y_label="inc",
+        series=[measured, reference],
+        notes="a note",
+    )
+
+
+class TestSeries:
+    def test_add_accumulates(self):
+        series = Series("s")
+        series.add(1.0, 2.0, error=0.5)
+        series.add(2.0, 3.0, error=0.25)
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [2.0, 3.0]
+        assert series.errors == [0.5, 0.25]
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        text = render_table(_figure())
+        assert "N" in text
+        assert "measured" in text
+        assert "0.10000" in text
+
+    def test_missing_cells_dashed(self):
+        figure = _figure()
+        figure.series[1].xs = [10]  # drop x=20 from second series
+        figure.series[1].ys = [0.1]
+        assert "-" in render_table(figure)
+
+
+class TestRenderFigure:
+    def test_render_includes_title_and_note(self):
+        text = _figure().render()
+        assert "figX" in text
+        assert "demo" in text
+        assert "a note" in text
+
+    def test_sparkline_log_scaled(self):
+        series = Series("s", xs=[1, 2, 3], ys=[1.0, 0.1, 0.0])
+        text = render_sparkline(series, "inc")
+        assert "log10" in text
+        assert "." in text  # zero marker
+
+    def test_csv_round_trip(self):
+        csv_text = _figure().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "N,measured,1/N"
+        assert lines[1].startswith("10,")
+        assert len(lines) == 3
+
+    def test_primary_requires_series(self):
+        import pytest
+        empty = FigureResult("f", "t", "x", "y")
+        with pytest.raises(ValueError):
+            empty.primary()
+
+
+class TestTableResult:
+    def test_render_and_csv(self):
+        table = TableResult(
+            title="cmp",
+            headers=["protocol", "value"],
+            rows=[["gossip", 0.5], ["flood", 1.0]],
+            notes="n",
+        )
+        text = table.render()
+        assert "cmp" in text
+        assert "gossip" in text
+        assert "note: n" in text
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "protocol,value"
+
+    def test_empty_rows_render(self):
+        table = TableResult(title="t", headers=["a"])
+        assert "t" in table.render()

@@ -1,0 +1,55 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_path_sensitive(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_seed_sensitive(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_int_names_allowed(self):
+        assert derive_seed(0, 5, "gossip") == derive_seed(0, 5, "gossip")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= derive_seed(2**70, "x") < 2**64
+
+
+class TestRngRegistry:
+    def test_stream_cached(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.stream("net") is rngs.stream("net")
+
+    def test_streams_independent_of_creation_order(self):
+        a = RngRegistry(seed=9)
+        b = RngRegistry(seed=9)
+        a.stream("one").random(10)  # consume from an unrelated stream
+        assert list(a.stream("two").random(5)) == list(
+            b.stream("two").random(5)
+        )
+
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(seed=4).stream("x")
+        b = RngRegistry(seed=4).stream("x")
+        assert list(a.integers(0, 100, 20)) == list(b.integers(0, 100, 20))
+
+    def test_different_seed_different_draws(self):
+        a = RngRegistry(seed=4).stream("x")
+        b = RngRegistry(seed=5).stream("x")
+        assert list(a.random(8)) != list(b.random(8))
+
+    def test_spawn_derives_new_registry(self):
+        root = RngRegistry(seed=0)
+        child_a = root.spawn("run", 1)
+        child_b = root.spawn("run", 2)
+        assert child_a.seed != child_b.seed
+        assert child_a.seed == root.spawn("run", 1).seed
+
+    def test_repr_mentions_seed(self):
+        assert "seed=3" in repr(RngRegistry(seed=3))

@@ -1,0 +1,113 @@
+"""Unit tests for the experiment runner and RunConfig plumbing."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.experiments.params import PAPER_DEFAULTS, RunConfig, with_params
+from repro.experiments.runner import (
+    PROTOCOLS,
+    incompleteness_samples,
+    run_once,
+)
+
+
+class TestRunConfig:
+    def test_paper_defaults_match_section7(self):
+        assert PAPER_DEFAULTS.n == 200
+        assert PAPER_DEFAULTS.ucastl == 0.25
+        assert PAPER_DEFAULTS.pf == 0.001
+        assert PAPER_DEFAULTS.k == 4
+        assert PAPER_DEFAULTS.fanout_m == 2
+        assert PAPER_DEFAULTS.rounds_factor_c == 1.0
+
+    def test_with_params_overrides(self):
+        config = with_params(n=400, ucastl=0.5)
+        assert config.n == 400
+        assert config.ucastl == 0.5
+        assert config.pf == PAPER_DEFAULTS.pf
+
+    def test_with_seed(self):
+        config = PAPER_DEFAULTS.with_seed(9)
+        assert config.seed == 9
+        assert dataclasses.replace(config, seed=0) == PAPER_DEFAULTS
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_DEFAULTS.n = 5
+
+
+class TestRunOnce:
+    def test_lossless_failfree_is_complete(self):
+        config = with_params(n=64, ucastl=0.0, pf=0.0)
+        result = run_once(config)
+        assert result.completeness == 1.0
+        assert result.incompleteness == 0.0
+        assert result.crashes == 0
+        assert result.mean_estimate_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_deterministic_per_seed(self):
+        config = with_params(n=64, seed=5)
+        a = run_once(config)
+        b = run_once(config)
+        assert a.completeness == b.completeness
+        assert a.messages_sent == b.messages_sent
+
+    def test_seed_changes_run(self):
+        a = run_once(with_params(n=64, seed=1, ucastl=0.4))
+        b = run_once(with_params(n=64, seed=2, ucastl=0.4))
+        assert (a.messages_sent, a.completeness) != (
+            b.messages_sent, b.completeness
+        )
+
+    def test_true_value_is_direct_aggregate(self):
+        config = with_params(n=32, ucastl=0.0, pf=0.0, aggregate="max")
+        result = run_once(config)
+        assert result.true_value <= config.vote_high
+        assert result.mean_estimate_error == 0.0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            run_once(with_params(protocol="paxos"))
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_every_protocol_runs_lossless(self, protocol):
+        config = with_params(
+            n=32, protocol=protocol, ucastl=0.0, pf=0.0
+        )
+        result = run_once(config)
+        if protocol == "flat_gossip":
+            # Flat gossip cannot finish N distinct coupons in the same
+            # round budget — that is exactly why the hierarchy exists.
+            assert result.completeness > 0.5
+        else:
+            assert result.completeness == pytest.approx(1.0)
+
+    def test_partition_config_builds_partitioned_network(self):
+        result = run_once(with_params(n=32, partl=1.0, ucastl=0.0, pf=0.0))
+        # Total loss across halves must hurt completeness somewhere.
+        assert result.messages_dropped > 0
+
+    def test_gossip_rounds_bounded_by_schedule(self):
+        config = with_params(n=128, ucastl=0.0, pf=0.0)
+        result = run_once(config)
+        rpp = math.ceil(math.log(128))
+        phases = 4  # round(log_4(32)) + 1 for N=128, K=4
+        assert result.rounds <= rpp * phases + 1
+
+
+class TestIncompletenessSamples:
+    def test_counts_and_range(self):
+        samples = incompleteness_samples(with_params(n=32), runs=4)
+        assert len(samples) == 4
+        assert all(0.0 <= s <= 1.0 for s in samples)
+
+    def test_distinct_seeds_used(self):
+        config = with_params(n=64, ucastl=0.5, seed=10)
+        samples = incompleteness_samples(config, runs=6)
+        direct = [
+            run_once(config.with_seed(10 + offset)).incompleteness
+            for offset in range(6)
+        ]
+        assert samples == direct

@@ -1,0 +1,84 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    is_monotone,
+    loglog_slope,
+    semilog_slope,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.std_error == 0.0
+        assert summary.low == summary.high == 3.0
+
+    def test_constant_samples(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.mean == 2.0
+        assert summary.std_error == 0.0
+
+    def test_interval_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.low < summary.mean < summary.high
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = summarize(samples, confidence=0.5)
+        wide = summarize(samples, confidence=0.99)
+        assert wide.high - wide.low > narrow.high - narrow.low
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestSlopes:
+    def test_loglog_recovers_power_law(self):
+        xs = [10, 20, 40, 80]
+        ys = [x**-2.0 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(-2.0)
+
+    def test_semilog_recovers_decay_rate(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [math.exp(-0.7 * x) for x in xs]
+        assert semilog_slope(xs, ys) == pytest.approx(-0.7)
+
+    def test_zero_values_floored_not_fatal(self):
+        slope = semilog_slope([1, 2, 3], [0.1, 0.01, 0.0], floor=1e-6)
+        assert slope < 0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_loglog_requires_positive_x(self):
+        with pytest.raises(ValueError):
+            loglog_slope([0, 1], [1, 1])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            semilog_slope([1, 2], [1])
+
+
+class TestIsMonotone:
+    def test_strictly_increasing(self):
+        assert is_monotone([1, 2, 3])
+
+    def test_decreasing_detected(self):
+        assert not is_monotone([3, 2, 1])
+        assert is_monotone([3, 2, 1], increasing=False)
+
+    def test_tolerance_allows_noise(self):
+        assert not is_monotone([1.0, 0.99, 2.0])
+        assert is_monotone([1.0, 0.99, 2.0], tolerance=0.02)
+
+    def test_empty_and_single(self):
+        assert is_monotone([])
+        assert is_monotone([5])

@@ -1,0 +1,59 @@
+"""Unit tests for the generic parameter sweep utility."""
+
+import pytest
+
+from repro.experiments.params import with_params
+from repro.experiments.sweep import Sweep
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        sweep = Sweep(base=with_params(n=16), runs=1)
+        cells = sweep.grid(ucastl=[0.1, 0.2], k=[2, 4])
+        assert len(cells) == 4
+        assert {"ucastl": 0.1, "k": 2} in cells
+        assert {"ucastl": 0.2, "k": 4} in cells
+
+    def test_unknown_field_rejected(self):
+        sweep = Sweep(base=with_params(n=16), runs=1)
+        with pytest.raises(ValueError, match="loss_rate"):
+            sweep.grid(loss_rate=[0.1])
+
+    def test_single_axis(self):
+        sweep = Sweep(base=with_params(n=16), runs=1)
+        assert sweep.grid(n=[8, 16, 32]) == [
+            {"n": 8}, {"n": 16}, {"n": 32},
+        ]
+
+
+class TestRun:
+    def test_run_cell_metrics(self):
+        sweep = Sweep(base=with_params(n=16, ucastl=0.0, pf=0.0), runs=2)
+        row = sweep.run_cell({"k": 2})
+        assert row["k"] == 2
+        assert row["incompleteness"] == 0.0
+        assert row["messages"] > 0
+        assert row["rounds"] > 0
+
+    def test_run_table_shape(self):
+        sweep = Sweep(base=with_params(n=16, ucastl=0.0, pf=0.0), runs=1)
+        table = sweep.run(sweep.grid(k=[2, 4]), title="k sweep")
+        assert table.title == "k sweep"
+        assert len(table.rows) == 2
+        assert table.headers[0] == "k"
+        assert "incompleteness" in table.headers
+
+    def test_empty_cells_rejected(self):
+        sweep = Sweep(base=with_params(n=16), runs=1)
+        with pytest.raises(ValueError):
+            sweep.run([])
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            Sweep(base=with_params(n=16), runs=0)
+
+    def test_seeded_reproducibility(self):
+        sweep = Sweep(base=with_params(n=24, ucastl=0.4), runs=3)
+        a = sweep.run_cell({"k": 4})
+        b = sweep.run_cell({"k": 4})
+        assert a == b

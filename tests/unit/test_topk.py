@@ -1,0 +1,121 @@
+"""Unit tests for the Top-K aggregate and the push-pull gossip mode."""
+
+import pytest
+
+from repro.core import (
+    FairHash,
+    GossipParams,
+    GridAssignment,
+    GridBoxHierarchy,
+    build_hierarchical_gossip_group,
+    get_aggregate,
+    measure_completeness,
+)
+from repro.core.aggregates import DoubleCountError, TopKAggregate
+from repro.sim import LossyNetwork, Network, RngRegistry, SimulationEngine
+
+
+class TestTopKAggregate:
+    def test_lift_single(self):
+        f = TopKAggregate(k=2)
+        state = f.lift(5, 9.0)
+        assert TopKAggregate.leaders(state) == ((9.0, 5),)
+        assert state.members == frozenset({5})
+
+    def test_merge_keeps_top_k(self):
+        f = TopKAggregate(k=2)
+        state = f.over({0: 1.0, 1: 5.0, 2: 3.0, 3: 4.0})
+        assert TopKAggregate.leaders(state) == ((5.0, 1), (4.0, 3))
+        assert state.members == frozenset({0, 1, 2, 3})
+
+    def test_finalize_is_kth_value(self):
+        f = TopKAggregate(k=3)
+        state = f.over({i: float(i) for i in range(10)})
+        assert f.finalize(state) == 7.0
+
+    def test_ties_broken_by_member_id(self):
+        f = TopKAggregate(k=2)
+        state = f.over({3: 1.0, 1: 1.0, 2: 1.0})
+        assert TopKAggregate.leaders(state) == ((1.0, 1), (1.0, 2))
+
+    def test_composability(self):
+        f = TopKAggregate(k=3)
+        votes = {i: float((i * 7) % 13) for i in range(12)}
+        left = {m: v for m, v in votes.items() if m < 6}
+        right = {m: v for m, v in votes.items() if m >= 6}
+        merged = f.merge(f.over(left), f.over(right))
+        assert TopKAggregate.leaders(merged) == TopKAggregate.leaders(
+            f.over(votes)
+        )
+
+    def test_double_count_guard(self):
+        f = TopKAggregate(k=1)
+        with pytest.raises(DoubleCountError):
+            f.merge(f.lift(0, 1.0), f.lift(0, 1.0))
+
+    def test_constant_wire_size(self):
+        f = TopKAggregate(k=2)
+        small = f.over({0: 1.0, 1: 2.0})
+        large = f.over({i: float(i) for i in range(100)})
+        assert small.wire_size() == large.wire_size()
+
+    def test_registry(self):
+        f = get_aggregate("top_k", k=5)
+        assert isinstance(f, TopKAggregate)
+        assert f.k == 5
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            TopKAggregate(k=0)
+
+    def test_end_to_end_over_protocol(self):
+        votes = {i: float(i) for i in range(32)}
+        f = TopKAggregate(k=3)
+        hierarchy = GridBoxHierarchy(32, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(1))
+        processes = build_hierarchical_gossip_group(votes, f, assignment)
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            rngs=RngRegistry(0), max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        for process in processes:
+            assert TopKAggregate.leaders(process.result) == (
+                (31.0, 31), (30.0, 30), (29.0, 29),
+            )
+
+
+class TestPushPull:
+    def _run(self, push_pull, ucastl=0.5, seed=4):
+        votes = {i: float(i) for i in range(64)}
+        f = get_aggregate("average")
+        hierarchy = GridBoxHierarchy(64, 4)
+        assignment = GridAssignment(hierarchy, votes, FairHash(0))
+        processes = build_hierarchical_gossip_group(
+            votes, f, assignment, GossipParams(push_pull=push_pull)
+        )
+        engine = SimulationEngine(
+            network=LossyNetwork(ucastl, max_message_size=1 << 20),
+            rngs=RngRegistry(seed), max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        report = measure_completeness(processes, 64)
+        return report.mean_completeness, engine.network.stats.sent
+
+    def test_push_pull_costs_more_messages(self):
+        __, push_messages = self._run(False)
+        __, pull_messages = self._run(True)
+        assert pull_messages > push_messages
+
+    def test_push_pull_not_worse_completeness(self):
+        push, __ = self._run(False)
+        pull, __ = self._run(True)
+        assert pull >= push - 0.01
+
+    def test_replies_do_not_ping_pong(self):
+        """Message volume stays bounded: at most one reply per delivery."""
+        __, push_messages = self._run(False, ucastl=0.0)
+        __, pull_messages = self._run(True, ucastl=0.0)
+        assert pull_messages <= 2 * push_messages + 100

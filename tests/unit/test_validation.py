@@ -1,0 +1,83 @@
+"""Unit tests for the epidemic model validation."""
+
+import pytest
+
+from repro.analysis.validation import (
+    discrete_epidemic,
+    epidemic_model_error,
+    simulate_epidemic,
+)
+
+
+class TestSimulateEpidemic:
+    def test_initial_state(self):
+        trajectory = simulate_epidemic(m=50, b=2.0, rounds=5, trials=4)
+        assert trajectory[0] == 1.0
+        assert len(trajectory) == 6
+
+    def test_monotone_non_decreasing(self):
+        trajectory = simulate_epidemic(m=100, b=1.5, rounds=15, trials=8)
+        assert all(a <= b + 1e-9 for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_saturates(self):
+        trajectory = simulate_epidemic(m=100, b=3.0, rounds=20, trials=8)
+        assert trajectory[-1] == pytest.approx(100.0, abs=0.5)
+
+    def test_zero_rate_never_spreads(self):
+        trajectory = simulate_epidemic(m=100, b=0.0, rounds=10, trials=4)
+        assert trajectory == [1.0] * 11
+
+    def test_fractional_b_intermediate(self):
+        slow = simulate_epidemic(m=200, b=0.5, rounds=10, trials=16, seed=1)
+        fast = simulate_epidemic(m=200, b=1.0, rounds=10, trials=16, seed=1)
+        assert slow[-1] < fast[-1]
+
+    def test_deterministic_given_seed(self):
+        a = simulate_epidemic(m=64, b=1.0, rounds=8, trials=4, seed=3)
+        b = simulate_epidemic(m=64, b=1.0, rounds=8, trials=4, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_epidemic(m=0, b=1.0, rounds=5)
+        with pytest.raises(ValueError):
+            simulate_epidemic(m=10, b=-1.0, rounds=5)
+        with pytest.raises(ValueError):
+            simulate_epidemic(m=10, b=1.0, rounds=5, trials=0)
+
+
+class TestDiscreteEpidemic:
+    def test_monotone_and_bounded(self):
+        trajectory = discrete_epidemic(m=100, b=2.0, rounds=30)
+        assert all(a <= b for a, b in zip(trajectory, trajectory[1:]))
+        assert trajectory[-1] <= 100.0
+
+    def test_single_member(self):
+        assert discrete_epidemic(m=1, b=5.0, rounds=3) == [1.0] * 4
+
+    def test_early_growth_rate(self):
+        """Early rounds grow like (1 + b) per round, not e^b."""
+        trajectory = discrete_epidemic(m=100_000, b=2.0, rounds=3)
+        assert trajectory[1] == pytest.approx(3.0, rel=0.01)
+        assert trajectory[2] == pytest.approx(9.0, rel=0.02)
+
+
+class TestModelError:
+    @pytest.mark.parametrize("m,b", [(100, 2.0), (500, 1.0), (1000, 4.0)])
+    def test_discrete_model_tracks_simulation(self, m, b):
+        __, __, error = epidemic_model_error(
+            m, b, rounds=20, trials=48, model="discrete"
+        )
+        assert error < 0.03
+
+    def test_logistic_model_saturates_with_simulation(self):
+        """The paper's continuous logistic diverges mid-trajectory but
+        agrees on the endpoint (full saturation)."""
+        empirical, model, __ = epidemic_model_error(
+            500, 2.0, rounds=25, trials=16, model="logistic"
+        )
+        assert empirical[-1] == pytest.approx(model[-1], rel=0.01)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            epidemic_model_error(10, 1.0, 5, model="quadratic")

@@ -1,0 +1,73 @@
+"""Unit tests for the ASCII visualization helpers."""
+
+import numpy as np
+
+from repro.core import (
+    FairHash,
+    GridAssignment,
+    GridBoxHierarchy,
+    StaticHash,
+    TopologicalHash,
+)
+from repro.viz import render_box_occupancy, render_hierarchy, render_sensor_map
+
+FIG1_BOXES = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+
+
+def _figure1_assignment():
+    h = GridBoxHierarchy(8, 2)
+    return GridAssignment(h, FIG1_BOXES, StaticHash(FIG1_BOXES))
+
+
+class TestRenderHierarchy:
+    def test_figure1_structure(self):
+        text = render_hierarchy(_figure1_assignment())
+        assert "subtree **" in text
+        assert "subtree 0*" in text
+        assert "box 00: M7, M3, M8" in text
+        assert "box 11: M1" in text
+
+    def test_empty_boxes_omitted(self):
+        h = GridBoxHierarchy(8, 2)
+        boxes = {1: 0}
+        a = GridAssignment(h, boxes, StaticHash(boxes))
+        text = render_hierarchy(a)
+        assert "box 00" in text
+        assert "box 11" not in text
+        assert "subtree 1*" not in text
+
+    def test_member_elision(self):
+        h = GridBoxHierarchy(8, 2)
+        boxes = {i: 0 for i in range(10)}
+        a = GridAssignment(h, boxes, StaticHash(boxes))
+        text = render_hierarchy(a, max_members_per_box=3)
+        assert "(+7)" in text
+
+
+class TestRenderBoxOccupancy:
+    def test_counts_shown(self):
+        votes = {i: 1.0 for i in range(64)}
+        h = GridBoxHierarchy(64, 4)
+        a = GridAssignment(h, votes, FairHash(0))
+        text = render_box_occupancy(a)
+        assert "16 boxes" in text
+        assert "members:" in text
+
+
+class TestRenderSensorMap:
+    def test_plain_map(self):
+        positions = {0: (0.1, 0.1), 1: (0.9, 0.9)}
+        text = render_sensor_map(positions, width=10, height=5)
+        assert text.count("*") == 2
+        assert text.startswith("+")
+
+    def test_box_symbols(self):
+        rng = np.random.default_rng(0)
+        positions = {
+            i: (float(x), float(y))
+            for i, (x, y) in enumerate(rng.random((20, 2)) * (1 - 1e-9))
+        }
+        h = GridBoxHierarchy(20, 4)
+        a = GridAssignment(h, positions, TopologicalHash(positions, 4))
+        text = render_sensor_map(positions, a, width=20, height=10)
+        assert any(c.isdigit() for c in text)
