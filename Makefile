@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-quick bench-figures figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,7 +8,13 @@ install:
 test:
 	pytest tests/
 
-bench:            ## regenerate every paper figure + the extra studies
+bench:            ## wall-clock perf harness -> BENCH_core.json
+	PYTHONPATH=src python benchmarks/perf/run_bench.py
+
+bench-quick:      ## CI-sized perf smoke run
+	PYTHONPATH=src python benchmarks/perf/run_bench.py --quick
+
+bench-figures:    ## regenerate every paper figure + the extra studies
 	pytest benchmarks/ --benchmark-only -s
 
 figures:          ## quick CLI pass over the analytic figures

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness: time canonical workloads, track them.
+
+Times a small set of canonical simulation workloads and writes
+``BENCH_core.json`` at the repository root so every future PR has a perf
+trajectory to compare against.  Each entry records the workload's config,
+wall-clock seconds, and the git revision that produced it; parallel
+workloads additionally record the serial/parallel split, the speedup, and
+a checksum proving the parallel numbers are bit-identical to serial.
+
+Canonical workloads:
+
+* ``fig6_n_sweep``      — a Figure-6-style scalability sweep (N up to
+  4096, 8 seeded runs per point), serial vs parallel.
+* ``fig10_crash_sweep`` — the Figure-10 crash-rate sweep at N=200,
+  serial vs parallel.
+* ``single_n4096``      — one large hierarchical run (N=4096), the pure
+  simulator hot path (no parallelism involved).
+
+Usage::
+
+    make bench                                # full run, writes BENCH_core.json
+    python benchmarks/perf/run_bench.py --quick   # CI smoke (small sizes)
+    python benchmarks/perf/run_bench.py --jobs 8  # force a worker count
+
+The serial and parallel legs assert checksum equality: a nonzero exit
+means the parallel executor changed the numbers, which is a bug.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.parallel import resolve_jobs, run_many  # noqa: E402
+from repro.experiments.params import with_params  # noqa: E402
+from repro.experiments.runner import run_once  # noqa: E402
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _checksum(results) -> str:
+    """Stable digest over every number a sweep produces."""
+    payload = json.dumps(
+        [
+            [r.incompleteness, r.completeness, r.messages_sent,
+             r.messages_dropped, r.rounds, r.crashes, r.bytes_sent]
+            for r in results
+        ],
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _sweep_configs(kind: str, quick: bool):
+    """(config list, human-readable config dict) for a sweep workload."""
+    if kind == "fig6_n_sweep":
+        n_values = (256, 512) if quick else (512, 1024, 2048, 4096)
+        runs = 2 if quick else 8
+        configs = [
+            with_params(n=n, seed=0).with_seed(offset)
+            for n in n_values
+            for offset in range(runs)
+        ]
+        described = {"n_values": list(n_values), "runs_per_point": runs,
+                     "ucastl": 0.25, "pf": 0.001, "k": 4, "fanout_m": 2}
+    elif kind == "fig10_crash_sweep":
+        pf_values = (0.002, 0.008) if quick else (0.002, 0.004, 0.006, 0.008)
+        runs = 4 if quick else 16
+        configs = [
+            with_params(n=200, pf=pf, seed=0).with_seed(offset)
+            for pf in pf_values
+            for offset in range(runs)
+        ]
+        described = {"n": 200, "pf_values": list(pf_values),
+                     "runs_per_point": runs, "ucastl": 0.25}
+    else:
+        raise ValueError(f"unknown sweep {kind!r}")
+    return configs, described
+
+
+def bench_sweep(kind: str, jobs: int, quick: bool) -> dict:
+    """Time one sweep serially and in parallel; verify bit-identity."""
+    configs, described = _sweep_configs(kind, quick)
+
+    start = time.perf_counter()
+    serial = run_many(configs, jobs=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_many(configs, jobs=jobs)
+    parallel_seconds = time.perf_counter() - start
+
+    serial_sum, parallel_sum = _checksum(serial), _checksum(parallel)
+    if serial_sum != parallel_sum:
+        raise AssertionError(
+            f"{kind}: parallel results diverged from serial "
+            f"({parallel_sum} != {serial_sum})"
+        )
+    return {
+        "workload": kind,
+        "config": {**described, "total_runs": len(configs)},
+        "seconds": round(parallel_seconds, 3),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "jobs": jobs,
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "checksum": serial_sum,
+        "bit_identical": True,
+    }
+
+
+def bench_single(quick: bool) -> dict:
+    """Time one large hierarchical run: the raw simulator hot path."""
+    n = 1024 if quick else 4096
+    config = with_params(n=n, seed=3)
+    start = time.perf_counter()
+    result = run_once(config)
+    seconds = time.perf_counter() - start
+    return {
+        "workload": f"single_n{n}",
+        "config": {"n": n, "seed": 3, "ucastl": 0.25, "pf": 0.001, "k": 4},
+        "seconds": round(seconds, 3),
+        "rounds": result.rounds,
+        "messages_sent": result.messages_sent,
+        "incompleteness": result.incompleteness,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", default=None,
+        help="worker processes for the parallel legs "
+             "(default: $REPRO_JOBS, else one per core)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke runs (~tens of seconds)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_core.json"),
+        help="output path (default: BENCH_core.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    # The harness default is one worker per core ("auto"), not the library
+    # default of serial — a benchmark run wants the machine saturated.
+    jobs = resolve_jobs(args.jobs if args.jobs is not None else "auto")
+
+    entries = []
+    for kind in ("fig6_n_sweep", "fig10_crash_sweep"):
+        print(f"[bench] {kind} (jobs={jobs}"
+              f"{', quick' if args.quick else ''}) ...", flush=True)
+        entry = bench_sweep(kind, jobs, args.quick)
+        print(f"[bench]   serial {entry['serial_seconds']}s, parallel "
+              f"{entry['parallel_seconds']}s, speedup {entry['speedup']}x, "
+              f"bit-identical ok", flush=True)
+        entries.append(entry)
+    print("[bench] single large run ...", flush=True)
+    entry = bench_single(args.quick)
+    print(f"[bench]   {entry['workload']}: {entry['seconds']}s "
+          f"({entry['messages_sent']} messages)", flush=True)
+    entries.append(entry)
+
+    document = {
+        "schema": "repro-bench/1",
+        "git_revision": _git_revision(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "available_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "quick": args.quick,
+        "entries": entries,
+    }
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"[bench] wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
         figure_parser.add_argument(
             "--csv", default=None, help="also write the series to this file"
         )
+        figure_parser.add_argument(
+            "--jobs", default=None, metavar="N",
+            help="worker processes for the seeded runs (0 or 'auto' = one "
+                 "per core; default: $REPRO_JOBS, else serial); results "
+                 "are bit-identical to serial for any value",
+        )
 
     run_parser = sub.add_parser("run", help="run one aggregation")
     _add_run_arguments(run_parser)
@@ -106,10 +112,12 @@ def _run_figure(figure_id: str, args: argparse.Namespace) -> int:
         kwargs["runs"] = args.runs
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
     try:
         result = figure_fn(**kwargs)
     except TypeError:
-        # Analytic figures take no runs/seed.
+        # Analytic figures take no runs/seed/jobs.
         result = figure_fn()
     print(result.render())
     if args.csv:

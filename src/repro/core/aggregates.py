@@ -73,11 +73,23 @@ class AggregateState:
         Counts only the constant-size payload (flattened floats/ints), not
         the bookkeeping member set — matching the paper's assumption that a
         composable function's output is about the size of a vote.
+
+        The default-size result is memoized on the instance: states are
+        immutable and re-sent every gossip round, and the payload walk
+        dominated the simulator's send path before caching.
         """
+        if float_size == 8:
+            cached = self.__dict__.get("_wire_size")
+            if cached is not None:
+                return cached
         payload = self.payload
         if isinstance(payload, tuple):
-            return float_size * max(1, _flat_len(payload))
-        return float_size
+            size = float_size * max(1, _flat_len(payload))
+        else:
+            size = float_size
+        if float_size == 8:
+            object.__setattr__(self, "_wire_size", size)
+        return size
 
 
 def _flat_len(value: Any) -> int:

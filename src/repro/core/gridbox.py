@@ -180,6 +180,11 @@ class GridAssignment:
         # Lazily built per-prefix-length groupings shared by all processes
         # (performance: avoids per-member subtree scans each round).
         self._prefix_groups: dict[int, dict[int, tuple[int, ...]]] = {}
+        # Shared expected-key frozensets (one per box / subtree instead of
+        # one per member): every complete-view member of the same subtree
+        # waits on the same key set each phase.
+        self._box_key_sets: dict[int, frozenset[int]] = {}
+        self._child_key_sets: dict[SubtreeId, frozenset[SubtreeId]] = {}
 
     @property
     def member_ids(self) -> tuple[int, ...]:
@@ -248,6 +253,33 @@ class GridAssignment:
             for child in self.hierarchy.child_subtrees(subtree)
             if child.prefix_value in groups
         )
+
+    def box_key_set(self, box: int) -> frozenset[int]:
+        """Frozenset of :meth:`members_of_box`, cached and shared.
+
+        The phase-1 expected keys of every complete-view member of
+        ``box`` — one frozenset per box instead of one per member.
+        """
+        keys = self._box_key_sets.get(box)
+        if keys is None:
+            keys = frozenset(self._members_of_box.get(box, ()))
+            self._box_key_sets[box] = keys
+        return keys
+
+    def occupied_child_key_set(
+        self, subtree: SubtreeId
+    ) -> frozenset[SubtreeId]:
+        """Frozenset of :meth:`occupied_children`, cached and shared.
+
+        The phase-``i>1`` expected keys of every complete-view member of
+        ``subtree`` (a member's own child subtree is occupied by the
+        member itself, so it is always included).
+        """
+        keys = self._child_key_sets.get(subtree)
+        if keys is None:
+            keys = frozenset(self.occupied_children(subtree))
+            self._child_key_sets[subtree] = keys
+        return keys
 
     def occupied_child_keys(
         self, member_id: int, phase: int

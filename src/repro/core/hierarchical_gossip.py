@@ -181,6 +181,9 @@ class HierarchicalGossipProcess(AggregationProcess):
         #: phase -> (shared member tuple of my subtree, my index in it);
         #: index is None for partial views (tuple then excludes me).
         self._peers_cache: dict[int, tuple[tuple[int, ...], int | None]] = {}
+        #: Cached per-process gossip stream (stable generator object from
+        #: the run's RngRegistry; avoids a registry lookup every round).
+        self._gossip_rng = None
 
     # -- structure helpers ------------------------------------------------
     @property
@@ -195,40 +198,50 @@ class HierarchicalGossipProcess(AggregationProcess):
         later phases need the aggregates of the occupied child subtrees.
         A member can compute any view member's box locally because the
         hash function and N are well-known (Section 6.1).
+
+        Complete-view members share one frozenset per box / subtree via
+        the assignment's caches (every member of a subtree expects the
+        same keys); partial views compute a private set from the view.
         """
         cached = self._expected_cache.get(phase)
         if cached is not None:
             return cached
         assignment = self.assignment
-        if phase == 1:
-            if self._complete_view:
-                keys = set(assignment.members_of_box(
+        if self._complete_view:
+            # Shared per-box / per-subtree frozensets: this member is in
+            # its own box and occupies its own child subtree, so the
+            # shared sets already include it.
+            if phase == 1:
+                result = assignment.box_key_set(
                     assignment.box_of(self.node_id)
-                ))
+                )
             else:
-                my_box = assignment.box_of(self.node_id)
-                keys = {
-                    peer
-                    for peer in self.view
-                    if assignment.has_member(peer)
-                    and assignment.box_of(peer) == my_box
-                }
+                result = assignment.occupied_child_key_set(
+                    assignment.subtree_of(self.node_id, phase)
+                )
+            self._expected_cache[phase] = result
+            return result
+        if phase == 1:
+            my_box = assignment.box_of(self.node_id)
+            keys = {
+                peer
+                for peer in self.view
+                if assignment.has_member(peer)
+                and assignment.box_of(peer) == my_box
+            }
             keys.add(self.node_id)
         else:
             subtree = assignment.subtree_of(self.node_id, phase)
-            if self._complete_view:
-                keys = set(assignment.occupied_children(subtree))
-            else:
-                hierarchy = assignment.hierarchy
-                keys = {
-                    child
-                    for child in hierarchy.child_subtrees(subtree)
-                    if any(
-                        assignment.has_member(peer)
-                        and hierarchy.contains(child, assignment.box_of(peer))
-                        for peer in self.view
-                    )
-                }
+            hierarchy = assignment.hierarchy
+            keys = {
+                child
+                for child in hierarchy.child_subtrees(subtree)
+                if any(
+                    assignment.has_member(peer)
+                    and hierarchy.contains(child, assignment.box_of(peer))
+                    for peer in self.view
+                )
+            }
             keys.add(assignment.subtree_of(self.node_id, phase - 1))
         result = frozenset(keys)
         self._expected_cache[phase] = result
@@ -378,7 +391,9 @@ class HierarchicalGossipProcess(AggregationProcess):
         pool_size = len(pool) - (1 if own_index is not None else 0)
         if pool_size < 1 or not self.known:
             return
-        rng = ctx.rng_for("gossip")
+        rng = self._gossip_rng
+        if rng is None:
+            rng = self._gossip_rng = ctx.rng_for("gossip")
         count = min(self.params.fanout_m, pool_size)
         picks = (
             rng.choice(pool_size, size=count, replace=False)
@@ -389,6 +404,7 @@ class HierarchicalGossipProcess(AggregationProcess):
             payload: GossipBatch | GossipValue = GossipBatch(
                 self.phase, self._batch_entries(rng)
             )
+            size = payload.wire_size()  # invariant across the picks
         else:
             keys = list(self.known)
             if not self.params.independent_values:
@@ -405,7 +421,8 @@ class HierarchicalGossipProcess(AggregationProcess):
                     else chosen
                 )
                 payload = GossipValue(self.phase, key, self.known[key])
-            ctx.send(pool[index], payload, size=payload.wire_size())
+                size = payload.wire_size()
+            ctx.send(pool[index], payload, size=size)
 
     def _values_fully_cover(self) -> bool:
         """Whether every known child value covers its whole subtree.
@@ -433,7 +450,7 @@ class HierarchicalGossipProcess(AggregationProcess):
         # Early bump-up (step II(b)) for intermediate phases.
         if (
             self.params.early_bump
-            and self._expected_keys(self.phase) <= set(self.known)
+            and self.known.keys() >= self._expected_keys(self.phase)
             and self._values_fully_cover()
         ):
             return True

@@ -66,9 +66,16 @@ class GossipBatch:
     reply: bool = False
 
     def wire_size(self) -> int:
-        return ID_SIZE + sum(
-            ID_SIZE + state.wire_size() for __, state in self.entries
-        )
+        # Memoized: one batch object is sent to every gossipee of a
+        # round (and its entry states persist across rounds), so the
+        # entry walk would otherwise repeat per send.
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = ID_SIZE + sum(
+                ID_SIZE + state.wire_size() for __, state in self.entries
+            )
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,16 @@
 """Experiment harness: paper defaults, run assembly, figures, reporting."""
 
 from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.parallel import ParallelRunner, resolve_jobs, run_many
 from repro.experiments.params import PAPER_DEFAULTS, RunConfig, with_params
 from repro.experiments.reporting import FigureResult, Series, TableResult
 from repro.experiments.runner import RunResult, incompleteness_samples, run_once
 
 __all__ = [
     "ALL_FIGURES",
+    "ParallelRunner",
+    "resolve_jobs",
+    "run_many",
     "PAPER_DEFAULTS",
     "RunConfig",
     "with_params",

@@ -19,9 +19,9 @@ from collections.abc import Sequence
 
 from repro.analysis.epidemic import phase1_completeness
 from repro.analysis.stats import summarize
+from repro.experiments.parallel import run_many
 from repro.experiments.params import RunConfig, with_params
 from repro.experiments.reporting import FigureResult, Series, TableResult
-from repro.experiments.runner import incompleteness_samples, run_once
 
 __all__ = [
     "fig4_phase1_analysis",
@@ -46,17 +46,31 @@ def _simulated_series(
     xs: Sequence[float],
     configs: Sequence[RunConfig],
     runs: int | Sequence[int],
+    jobs: int | str | None = None,
 ) -> Series:
     """Average incompleteness over seeded runs at each swept config.
 
     ``runs`` may be a single count or one count per point (large-N points
     cost much more wall time per run, so sweeps taper the repetitions).
+    The seeded runs of *all* points are flattened into one parallel map
+    (``jobs`` workers), so the sweep scales with cores even when each
+    point only repeats a few times; ordering keeps results bit-identical
+    to the serial loop.
     """
     if isinstance(runs, int):
         runs = [runs] * len(xs)
+    per_point = [
+        [config.with_seed(config.seed + offset) for offset in range(count)]
+        for config, count in zip(configs, runs)
+    ]
+    flat = [config for group in per_point for config in group]
+    results = run_many(flat, jobs=jobs)
     series = Series(label)
-    for x, config, count in zip(xs, configs, runs):
-        summary = summarize(incompleteness_samples(config, count))
+    cursor = 0
+    for x, group in zip(xs, per_point):
+        chunk = results[cursor:cursor + len(group)]
+        cursor += len(group)
+        summary = summarize([r.incompleteness for r in chunk])
         series.add(float(x), summary.mean, summary.mean - summary.low)
     return series
 
@@ -122,6 +136,7 @@ def fig6_scalability(
     n_values: Sequence[int] = (200, 400, 800, 1600, 3200),
     runs: int | Sequence[int] = 10,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 6: incompleteness vs group size N at the paper defaults.
 
@@ -131,7 +146,7 @@ def fig6_scalability(
     """
     configs = [with_params(n=n, seed=seed) for n in n_values]
     series = _simulated_series("incompleteness (K=4,M=2)", n_values, configs,
-                               runs)
+                               runs, jobs=jobs)
     return FigureResult(
         figure_id="fig6",
         title="Scalability 1: incompleteness vs group size N",
@@ -146,6 +161,7 @@ def fig7_message_loss(
     loss_values: Sequence[float] = (0.4, 0.5, 0.6, 0.7),
     runs: int = 20,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 7: incompleteness vs unicast loss probability ``ucastl``.
 
@@ -154,7 +170,7 @@ def fig7_message_loss(
     """
     configs = [with_params(ucastl=loss, seed=seed) for loss in loss_values]
     series = _simulated_series("incompleteness (N=200,K=4,M=2)", loss_values,
-                               configs, runs)
+                               configs, runs, jobs=jobs)
     return FigureResult(
         figure_id="fig7",
         title="Fault-tolerance 1: incompleteness vs message loss ucastl",
@@ -169,6 +185,7 @@ def fig8_gossip_rate(
     round_values: Sequence[int] = (1, 2, 3, 4, 5),
     runs: int = 20,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 8: incompleteness vs gossip rounds per phase.
 
@@ -180,7 +197,7 @@ def fig8_gossip_rate(
         for rounds in round_values
     ]
     series = _simulated_series("incompleteness (N=200,K=4,M=2)", round_values,
-                               configs, runs)
+                               configs, runs, jobs=jobs)
     return FigureResult(
         figure_id="fig8",
         title="Effect of gossip rate: incompleteness vs rounds per phase",
@@ -195,6 +212,7 @@ def fig9_partition(
     partl_values: Sequence[float] = (0.5, 0.55, 0.6, 0.65, 0.7),
     runs: int = 20,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 9: soft two-half partition; incompleteness vs ``partl``.
 
@@ -204,7 +222,7 @@ def fig9_partition(
     """
     configs = [with_params(partl=partl, seed=seed) for partl in partl_values]
     series = _simulated_series("incompleteness (N=200,K=4,M=2)", partl_values,
-                               configs, runs)
+                               configs, runs, jobs=jobs)
     return FigureResult(
         figure_id="fig9",
         title="Fault-tolerance 2: incompleteness vs partition loss partl",
@@ -219,6 +237,7 @@ def fig10_member_failures(
     pf_values: Sequence[float] = (0.002, 0.004, 0.006, 0.008),
     runs: int = 20,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 10: incompleteness vs per-round crash probability ``pf``.
 
@@ -230,12 +249,14 @@ def fig10_member_failures(
     """
     survivor = Series("incompleteness (survivor-relative)")
     initial = Series("incompleteness (vs initial votes)")
-    for pf in pf_values:
-        config = with_params(pf=pf, seed=seed)
-        results = [
-            run_once(config.with_seed(seed + offset))
-            for offset in range(runs)
-        ]
+    flat = [
+        with_params(pf=pf, seed=seed).with_seed(seed + offset)
+        for pf in pf_values
+        for offset in range(runs)
+    ]
+    all_results = run_many(flat, jobs=jobs)
+    for index, pf in enumerate(pf_values):
+        results = all_results[index * runs:(index + 1) * runs]
         s = summarize([r.incompleteness for r in results])
         survivor.add(pf, s.mean, s.mean - s.low)
         s = summarize([r.incompleteness_initial for r in results])
@@ -256,6 +277,7 @@ def fig11_theorem_bound(
     n_values: Sequence[int] = (300, 400, 500, 600),
     runs: int = 30,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Figure 11: incompleteness vs N with C=1.4 and a loss/crash-free
     network, against the Theorem 1 limit 1/N.
@@ -269,7 +291,7 @@ def fig11_theorem_bound(
         for n in n_values
     ]
     series = _simulated_series("incompleteness (K=4,M=2,b~1.0)", n_values,
-                               configs, runs)
+                               configs, runs, jobs=jobs)
     reference = Series("analytic 1/N")
     for n in n_values:
         reference.add(n, 1.0 / n)
@@ -298,6 +320,7 @@ def baseline_comparison(
     ucastl: float = 0.25,
     pf: float = 0.001,
     committee_size: int = 1,
+    jobs: int | str | None = None,
 ) -> TableResult:
     """Extra A: all protocols under the same faults (Sections 4, 5, 6.2).
 
@@ -309,14 +332,17 @@ def baseline_comparison(
         headers=["protocol", "completeness", "incompleteness", "messages",
                  "bytes", "rounds"],
     )
-    for protocol in protocols:
-        config = with_params(
+    flat = [
+        with_params(
             n=n, protocol=protocol, ucastl=ucastl, pf=pf,
             committee_size=committee_size, seed=seed,
-        )
-        results = [
-            run_once(config.with_seed(seed + offset)) for offset in range(runs)
-        ]
+        ).with_seed(seed + offset)
+        for protocol in protocols
+        for offset in range(runs)
+    ]
+    all_results = run_many(flat, jobs=jobs)
+    for index, protocol in enumerate(protocols):
+        results = all_results[index * runs:(index + 1) * runs]
         table.rows.append([
             protocol,
             summarize([r.completeness for r in results]).mean,
@@ -332,6 +358,7 @@ def complexity_scaling(
     n_values: Sequence[int] = (100, 200, 400, 800, 1600),
     runs: int = 3,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> TableResult:
     """Extra B: measured message/time complexity of Hierarchical Gossiping.
 
@@ -345,11 +372,14 @@ def complexity_scaling(
         headers=["N", "messages", "rounds", "messages/(N ln^2 N)",
                  "rounds/ln^2 N"],
     )
-    for n in n_values:
-        config = with_params(n=n, seed=seed)
-        results = [
-            run_once(config.with_seed(seed + offset)) for offset in range(runs)
-        ]
+    flat = [
+        with_params(n=n, seed=seed).with_seed(seed + offset)
+        for n in n_values
+        for offset in range(runs)
+    ]
+    all_results = run_many(flat, jobs=jobs)
+    for index, n in enumerate(n_values):
+        results = all_results[index * runs:(index + 1) * runs]
         messages = summarize([r.messages_sent for r in results]).mean
         rounds = summarize([float(r.rounds) for r in results]).mean
         log_sq = math.log(n) ** 2
@@ -364,6 +394,7 @@ def ext_approximate_n(
     n: int = 200,
     runs: int = 10,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Extension: hierarchy built from an *estimate* of N (Section 6.1).
 
@@ -378,7 +409,7 @@ def ext_approximate_n(
         for factor in factors
     ]
     series = _simulated_series(
-        f"incompleteness (true N={n})", factors, configs, runs
+        f"incompleteness (true N={n})", factors, configs, runs, jobs=jobs
     )
     return FigureResult(
         figure_id="ext_approx_n",
@@ -396,6 +427,7 @@ def ext_start_spread(
     n: int = 200,
     runs: int = 10,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Extension: multicast-wave initiation instead of simultaneous start.
 
@@ -411,7 +443,7 @@ def ext_start_spread(
         for spread in spreads
     ]
     series = _simulated_series(
-        f"incompleteness (N={n})", spreads, configs, runs
+        f"incompleteness (N={n})", spreads, configs, runs, jobs=jobs
     )
     return FigureResult(
         figure_id="ext_start_spread",
@@ -428,6 +460,7 @@ def ext_partial_views(
     n: int = 200,
     runs: int = 10,
     seed: int = 0,
+    jobs: int | str | None = None,
 ) -> FigureResult:
     """Extension: partial membership views (Section 2).
 
@@ -445,7 +478,7 @@ def ext_partial_views(
         for fraction in fractions
     ]
     series = _simulated_series(
-        f"incompleteness (N={n})", fractions, configs, runs
+        f"incompleteness (N={n})", fractions, configs, runs, jobs=jobs
     )
     return FigureResult(
         figure_id="ext_partial_views",

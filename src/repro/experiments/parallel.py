@@ -1,0 +1,152 @@
+"""Parallel execution of independent seeded simulation runs.
+
+Every quantitative result in this repository — figure sweeps, the generic
+:class:`~repro.experiments.sweep.Sweep`, the baseline comparison — is an
+average over many *independently seeded* :func:`~repro.experiments.runner
+.run_once` executions.  Those executions share no state (each builds its
+own :class:`~repro.sim.rng.RngRegistry` from its config's seed), so they
+are embarrassingly parallel: running them across processes produces
+bit-identical numbers to running them serially, just faster.
+
+:class:`ParallelRunner` is the single fan-out point.  It preserves the
+input order of results (so tables and series are byte-identical however
+many workers run), chunks work to amortize inter-process overhead, and
+falls back to the plain serial loop whenever parallelism is pointless
+(``jobs=1``, a single item) or unavailable (no ``fork``/``spawn``
+permitted in the sandbox, broken pool).  The job count resolves as:
+
+1. an explicit ``jobs=`` argument (``0`` means "one per CPU core"),
+2. the ``REPRO_JOBS`` environment variable (an integer, or ``auto``),
+3. serial execution (the default — small figure calls and unit tests
+   should not pay pool startup).
+
+The determinism regression tests
+(``tests/integration/test_parallel_determinism.py``) pin the
+serial == parallel guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+from repro.experiments.params import RunConfig
+from repro.experiments.runner import RunResult, run_once
+
+__all__ = ["JOBS_ENV", "ParallelRunner", "resolve_jobs", "run_many"]
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a worker count from an argument or :data:`JOBS_ENV`.
+
+    ``None`` consults the environment and defaults to ``1`` (serial);
+    ``0`` or ``"auto"`` means one worker per available CPU core; negative
+    counts are rejected.  Always returns an int >= 1.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        jobs = raw
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            jobs = 0
+        else:
+            try:
+                jobs = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"invalid job count {jobs!r}: expected an integer or "
+                    f"'auto'"
+                ) from None
+    if jobs < 0:
+        raise ValueError(f"job count must be >= 0, got {jobs}")
+    if jobs == 0:
+        try:
+            cores = len(os.sched_getaffinity(0))
+        except AttributeError:  # non-Linux
+            cores = os.cpu_count() or 1
+        return max(1, cores)
+    return int(jobs)
+
+
+class ParallelRunner:
+    """Order-preserving process-pool map with a serial fallback.
+
+    >>> runner = ParallelRunner(jobs=4)
+    >>> results = runner.map(run_once, configs)   # results[i] <-> configs[i]
+
+    The mapped callable and its items must be picklable (module-level
+    functions over dataclass configs — exactly what :func:`run_once`
+    takes).  Exceptions raised by the callable propagate unchanged; pool
+    *infrastructure* failures (fork refused, workers killed) degrade to
+    the serial loop instead of failing the experiment.
+    """
+
+    def __init__(self, jobs: int | str | None = None,
+                 chunk_size: int | None = None):
+        self.jobs = resolve_jobs(jobs)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+
+    def _chunk_size_for(self, items: int, workers: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # Aim for a few chunks per worker so stragglers rebalance, while
+        # keeping per-chunk IPC overhead amortized over several runs.
+        return max(1, items // (workers * 4))
+
+    def map(
+        self,
+        fn: Callable[[_ItemT], _ResultT],
+        items: Iterable[_ItemT],
+    ) -> list[_ResultT]:
+        """Apply ``fn`` to every item; results keep the input order."""
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        workers = min(self.jobs, len(items))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(
+                        fn, items,
+                        chunksize=self._chunk_size_for(len(items), workers),
+                    )
+                )
+        except (BrokenProcessPool, OSError, PermissionError, ImportError):
+            # Pool infrastructure unavailable (sandboxed fork, dead
+            # workers, missing multiprocessing primitives): the work
+            # itself is still fine — run it serially.
+            return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return f"ParallelRunner(jobs={self.jobs})"
+
+
+def run_many(
+    configs: Sequence[RunConfig],
+    jobs: int | str | None = None,
+    runner: ParallelRunner | None = None,
+) -> list[RunResult]:
+    """Execute :func:`run_once` for every config, possibly in parallel.
+
+    ``results[i]`` corresponds to ``configs[i]``; output is bit-identical
+    to ``[run_once(c) for c in configs]`` for any job count, because each
+    run derives all randomness from its own config's seed.
+    """
+    if runner is None:
+        runner = ParallelRunner(jobs)
+    return runner.map(run_once, list(configs))

@@ -54,7 +54,14 @@ class RunResult:
     bytes_sent: int
     crashes: int
     true_value: float
-    #: Mean absolute error of surviving members' finalized estimates.
+    #: Mean absolute error of finalized estimates, averaged over exactly
+    #: the member set behind the survivor-relative completeness metric
+    #: (``report.per_member``): members that were still alive at the end
+    #: of the run *and* finalized a result.  Members that terminated with
+    #: an estimate but crashed later are excluded (they are no longer
+    #: part of the group, matching ``CompletenessReport``'s survivor
+    #: rule), as are survivors that never finished.  ``nan`` when no
+    #: member qualifies.
     mean_estimate_error: float
 
     @property
@@ -207,10 +214,13 @@ def run_once(config: RunConfig) -> RunResult:
     engine.add_processes(processes)
     engine.run()
     report = measure_completeness(processes, group_size=config.n)
+    # Error is averaged over report.per_member's member set so the two
+    # survivor-relative metrics can never drift apart (see RunResult).
+    measured = report.per_member.keys()
     errors = [
         abs(process.function.finalize(process.result) - true_value)
         for process in processes
-        if process.alive and process.result is not None
+        if process.node_id in measured
     ]
     return RunResult(
         config=config,
@@ -226,9 +236,17 @@ def run_once(config: RunConfig) -> RunResult:
     )
 
 
-def incompleteness_samples(config: RunConfig, runs: int) -> list[float]:
-    """Mean incompleteness of ``runs`` independent seeded runs."""
-    return [
-        run_once(config.with_seed(config.seed + offset)).incompleteness
-        for offset in range(runs)
-    ]
+def incompleteness_samples(
+    config: RunConfig, runs: int, jobs: int | str | None = None,
+) -> list[float]:
+    """Mean incompleteness of ``runs`` independent seeded runs.
+
+    ``jobs`` fans the seeded runs out across worker processes (see
+    :mod:`repro.experiments.parallel`); results are bit-identical to the
+    serial loop for any job count.
+    """
+    from repro.experiments.parallel import run_many
+
+    configs = [config.with_seed(config.seed + offset)
+               for offset in range(runs)]
+    return [result.incompleteness for result in run_many(configs, jobs=jobs)]

@@ -5,13 +5,19 @@ open-ended version for users exploring their own parameter spaces::
 
     from repro.experiments.sweep import Sweep
 
-    sweep = Sweep(base=with_params(n=400), runs=10)
+    sweep = Sweep(base=with_params(n=400), runs=10, jobs=4)
     grid = sweep.grid(ucastl=[0.1, 0.3], k=[2, 4, 8])
     table = sweep.run(grid)         # TableResult: one row per cell
     print(table.render())
 
 Each grid cell averages ``runs`` seeded executions and reports the mean
 incompleteness, its confidence half-width, message count and rounds.
+
+Cells are independent seeded runs, so a sweep parallelizes perfectly:
+``jobs`` (or the ``REPRO_JOBS`` environment variable) fans the full
+``cells x runs`` run list across worker processes via
+:class:`~repro.experiments.parallel.ParallelRunner` while keeping the
+table bit-identical to a serial sweep.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from repro.analysis.stats import summarize
 from repro.experiments.params import RunConfig
+from repro.experiments.parallel import run_many
 from repro.experiments.reporting import TableResult
-from repro.experiments.runner import run_once
+from repro.experiments.runner import RunResult
 
 __all__ = ["Sweep"]
 
@@ -31,11 +38,13 @@ __all__ = ["Sweep"]
 class Sweep:
     """Run a cartesian grid of config variations and tabulate results."""
 
-    def __init__(self, base: RunConfig, runs: int = 10):
+    def __init__(self, base: RunConfig, runs: int = 10,
+                 jobs: int | str | None = None):
         if runs < 1:
             raise ValueError("runs must be >= 1")
         self.base = base
         self.runs = runs
+        self.jobs = jobs
 
     def grid(self, **axes: Sequence) -> list[dict]:
         """Cartesian product of the given config-field value lists.
@@ -56,13 +65,15 @@ class Sweep:
             for values in itertools.product(*(axes[name] for name in names))
         ]
 
-    def run_cell(self, overrides: Mapping) -> dict:
-        """Average ``runs`` seeded executions of one configuration."""
+    def _cell_configs(self, overrides: Mapping) -> list[RunConfig]:
+        """The ``runs`` seeded configs behind one grid cell."""
         config = dataclasses.replace(self.base, **overrides)
-        results = [
-            run_once(config.with_seed(config.seed + offset))
-            for offset in range(self.runs)
-        ]
+        return [config.with_seed(config.seed + offset)
+                for offset in range(self.runs)]
+
+    def _summarize_cell(
+        self, overrides: Mapping, results: Sequence[RunResult]
+    ) -> dict:
         incompleteness = summarize([r.incompleteness for r in results])
         return {
             **overrides,
@@ -74,19 +85,48 @@ class Sweep:
             "rounds": summarize([float(r.rounds) for r in results]).mean,
         }
 
-    def run(self, cells: Iterable[Mapping], title: str = "sweep") -> TableResult:
-        """Run every cell and return one table row per cell."""
+    def run_cell(self, overrides: Mapping) -> dict:
+        """Average ``runs`` seeded executions of one configuration."""
+        results = run_many(self._cell_configs(overrides), jobs=self.jobs)
+        return self._summarize_cell(overrides, results)
+
+    def run(self, cells: Iterable[Mapping], title: str = "sweep",
+            jobs: int | str | None = None) -> TableResult:
+        """Run every cell and return one table row per cell.
+
+        All cells must share the same axis keys — heterogeneous cell
+        dicts would silently emit rows whose values land under the wrong
+        headers, so they are rejected up front.  The whole
+        ``cells x runs`` run list is executed through one parallel map
+        (``jobs`` overrides the sweep-level setting), so large grids
+        scale with cores even when ``runs`` per cell is small.
+        """
         cells = list(cells)
         if not cells:
             raise ValueError("no cells to sweep")
         axis_names = list(cells[0])
+        expected = set(axis_names)
+        for index, cell in enumerate(cells):
+            if set(cell) != expected:
+                raise ValueError(
+                    f"sweep cell {index} has axes {sorted(map(str, cell))} "
+                    f"but cell 0 has {sorted(map(str, expected))}; all "
+                    f"cells must share the same axis keys for the table "
+                    f"columns to align"
+                )
+        per_cell = [self._cell_configs(cell) for cell in cells]
+        flat = [config for configs in per_cell for config in configs]
+        results = run_many(flat, jobs=self.jobs if jobs is None else jobs)
         table = TableResult(
             title=title,
             headers=axis_names + [
                 "incompleteness", "ci_half_width", "messages", "rounds",
             ],
         )
-        for cell in cells:
-            row = self.run_cell(cell)
+        cursor = 0
+        for cell, configs in zip(cells, per_cell):
+            chunk = results[cursor:cursor + len(configs)]
+            cursor += len(configs)
+            row = self._summarize_cell(cell, chunk)
             table.rows.append([row[name] for name in table.headers])
         return table

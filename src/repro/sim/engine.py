@@ -26,6 +26,7 @@ message-level accounting trustworthy.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any
@@ -91,6 +92,7 @@ class Context:
     def __init__(self, engine: "SimulationEngine"):
         self._engine = engine
         self.current: Process | None = None
+        self._rng_cache: dict[tuple, Any] = {}
 
     @property
     def round(self) -> int:
@@ -103,9 +105,20 @@ class Context:
         return self._engine.rngs
 
     def rng_for(self, *names: str | int):
-        """Shorthand for a per-process random stream."""
+        """Shorthand for a per-process random stream.
+
+        Generators are memoized here (on top of the registry's own
+        cache) so the per-round hot path skips re-deriving the stream
+        key; the returned generator is the registry's, so stream state
+        is shared with direct :meth:`RngRegistry.stream` lookups.
+        """
         assert self.current is not None
-        return self._engine.rngs.stream("process", self.current.node_id, *names)
+        key = (self.current.node_id, names)
+        generator = self._rng_cache.get(key)
+        if generator is None:
+            generator = self._engine.rngs.stream("process", key[0], *names)
+            self._rng_cache[key] = generator
+        return generator
 
     def send(self, dest: int, payload: Any, size: int = 1) -> bool:
         """Send ``payload`` to process ``dest``.
@@ -141,6 +154,7 @@ class SimulationEngine:
         max_rounds: int = 100_000,
         tracer: Tracer | None = None,
         metrics: RoundMetrics | None = None,
+        fifo_fast_path: bool = True,
     ):
         self.network = network
         self.failure_model = failure_model or NoFailures()
@@ -155,6 +169,17 @@ class SimulationEngine:
         self._seq = 0
         self._scheduled: list[tuple[int, int, Callable[[], None]]] = []
         self._ctx = Context(self)
+        # Constant-latency networks deliver in send order (the delivery
+        # round is the monotonic current round plus a constant), so a
+        # plain FIFO replaces the heap — same order, no log-N scheduling
+        # cost.  ``fifo_fast_path=False`` forces the heap (the
+        # determinism tests pin that both paths behave identically).
+        self._fifo: deque[tuple[int, Message]] | None = (
+            deque()
+            if fifo_fast_path
+            and getattr(network, "fixed_latency", None) is not None
+            else None
+        )
 
     # -- setup ---------------------------------------------------------
     def add_process(self, process: Process) -> None:
@@ -190,24 +215,55 @@ class SimulationEngine:
             self._trace("send_rejected", src, dest)
             return False
         if delivery_round is not None:
-            self._trace("send", src, dest)
-            self._seq += 1
-            heapq.heappush(self._inbox, (delivery_round, self._seq, message))
+            if self.tracer is not None:
+                self._trace("send", src, dest)
+            self._enqueue(delivery_round, message)
         else:
             self._trace("send_lost", src, dest)
         return True
 
+    def _enqueue(self, delivery_round: int, message: Message) -> None:
+        fifo = self._fifo
+        if fifo is not None:
+            if fifo and delivery_round < fifo[-1][0]:
+                # The network produced an out-of-order delivery round
+                # after all (a custom plan_delivery): migrate to the heap
+                # — appending in FIFO order with fresh sequence numbers
+                # preserves the delivery order exactly.
+                self._fifo = None
+                for queued_round, queued in fifo:
+                    self._seq += 1
+                    heapq.heappush(
+                        self._inbox, (queued_round, self._seq, queued)
+                    )
+            else:
+                fifo.append((delivery_round, message))
+                return
+        self._seq += 1
+        heapq.heappush(self._inbox, (delivery_round, self._seq, message))
+
+    def _dispatch(self, message: Message) -> None:
+        receiver = self.processes.get(message.dest)
+        if receiver is None or not receiver.alive:
+            return  # paper model: messages to crashed members vanish
+        self.stats.messages_delivered += 1
+        if self.tracer is not None:
+            self._trace("deliver", message.dest, message.src)
+        self._ctx.current = receiver
+        receiver.on_message(self._ctx, message)
+        self._ctx.current = None
+
     def _deliver_due(self) -> None:
+        current = self.round
+        # Re-read self._fifo each step: a send from inside on_message may
+        # migrate the queue to the heap mid-drain (see _enqueue).
+        while (fifo := self._fifo) is not None:
+            if not fifo or fifo[0][0] > current:
+                return
+            self._dispatch(fifo.popleft()[1])
         while self._inbox and self._inbox[0][0] <= self.round:
             __, __, message = heapq.heappop(self._inbox)
-            receiver = self.processes.get(message.dest)
-            if receiver is None or not receiver.alive:
-                continue  # paper model: messages to crashed members vanish
-            self.stats.messages_delivered += 1
-            self._trace("deliver", message.dest, message.src)
-            self._ctx.current = receiver
-            receiver.on_message(self._ctx, message)
-            self._ctx.current = None
+            self._dispatch(message)
 
     def _apply_failures(self) -> None:
         alive_ids = [p.node_id for p in self.processes.values() if p.alive]

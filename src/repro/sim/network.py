@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unicast message in flight.  ``size`` is an abstract byte count."""
 
@@ -100,6 +100,18 @@ class Network:
         self.latency_rounds = latency_rounds
         self.stats = NetworkStats()
         self._sends_this_round: Counter = Counter()
+        # Per-run caches for the message hot path: the loss stream is
+        # consumed in pre-drawn blocks (one numpy call per block instead
+        # of one per message — stream-identical, since Generator.random(n)
+        # draws the same doubles in the same order as n scalar calls), and
+        # the stream lookups themselves are resolved once per registry.
+        self._rng_source: RngRegistry | None = None
+        self._loss_draws = None
+        self._loss_next = 0
+        self._latency_stream = None
+
+    #: Messages per pre-drawn block of loss uniforms.
+    LOSS_BLOCK = 512
 
     # -- model hooks ----------------------------------------------------
     def loss_probability(self, message: Message) -> float:
@@ -110,10 +122,42 @@ class Network:
         """Delivery delay in rounds (>= 1)."""
         return self.latency_rounds
 
+    @property
+    def fixed_latency(self) -> int | None:
+        """``latency_rounds`` when delivery delay is deterministic.
+
+        ``None`` for models that override :meth:`latency` (jitter,
+        multihop): their delay varies per message.  A fixed latency lets
+        the engine schedule deliveries on a FIFO queue instead of a heap
+        — with monotonic send rounds, arrival order equals send order.
+        """
+        if type(self).latency is Network.latency:
+            return self.latency_rounds
+        return None
+
     # -- engine interface -----------------------------------------------
     def begin_round(self, round_number: int) -> None:
         """Reset per-round bandwidth accounting (called by the engine)."""
-        self._sends_this_round.clear()
+        if self._sends_this_round:
+            self._sends_this_round.clear()
+
+    def _bind_rngs(self, rngs: RngRegistry) -> None:
+        self._rng_source = rngs
+        self._loss_draws = None
+        self._loss_next = 0
+        self._latency_stream = rngs.stream("network", "latency")
+
+    def _loss_draw(self, rngs: RngRegistry) -> float:
+        """Next uniform from the loss stream, served from a block."""
+        draws = self._loss_draws
+        if draws is None or self._loss_next >= len(draws):
+            draws = self._loss_draws = (
+                rngs.stream("network", "loss").random(self.LOSS_BLOCK)
+            )
+            self._loss_next = 0
+        value = draws[self._loss_next]
+        self._loss_next += 1
+        return value
 
     def plan_delivery(self, message: Message, rngs: RngRegistry):
         """Decide the fate of ``message``; see class docstring."""
@@ -122,20 +166,22 @@ class Network:
                 f"message of size {message.size} exceeds bound "
                 f"{self.max_message_size} (src={message.src})"
             )
+        if rngs is not self._rng_source:
+            self._bind_rngs(rngs)
         if self.max_sends_per_round is not None:
             if self._sends_this_round[message.src] >= self.max_sends_per_round:
                 self.stats.rejected_bandwidth += 1
                 return Network.REJECTED
-        self._sends_this_round[message.src] += 1
-        self.stats.sent += 1
-        self.stats.bytes_sent += message.size
-        self.stats.per_sender_sent[message.src] += 1
-        rng = rngs.stream("network", "loss")
+            self._sends_this_round[message.src] += 1
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += message.size
+        stats.per_sender_sent[message.src] += 1
         probability = self.loss_probability(message)
-        if probability > 0.0 and rng.random() < probability:
-            self.stats.dropped += 1
+        if probability > 0.0 and self._loss_draw(rngs) < probability:
+            stats.dropped += 1
             return None
-        return message.sent_round + self.latency(message, rngs.stream("network", "latency"))
+        return message.sent_round + self.latency(message, self._latency_stream)
 
 
 class LossyNetwork(Network):

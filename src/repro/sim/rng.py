@@ -57,12 +57,18 @@ class RngRegistry:
         self._streams: dict[tuple[str | int, ...], np.random.Generator] = {}
 
     def stream(self, *names: str | int) -> np.random.Generator:
-        """Return (creating on first use) the generator for a name path."""
-        key = tuple(names)
-        generator = self._streams.get(key)
+        """Return (creating on first use) the generator for a name path.
+
+        Memoized: the SHA-256 seed derivation and generator construction
+        run once per name path; later calls are a dict lookup.  Hot paths
+        may additionally cache the returned generator object — it is
+        stable for the registry's lifetime and stream state lives inside
+        it, so holding a reference never forks the stream.
+        """
+        generator = self._streams.get(names)
         if generator is None:
             generator = np.random.default_rng(derive_seed(self.seed, *names))
-            self._streams[key] = generator
+            self._streams[names] = generator
         return generator
 
     def spawn(self, *names: str | int) -> "RngRegistry":

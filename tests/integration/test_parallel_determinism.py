@@ -1,0 +1,104 @@
+"""Determinism regressions: parallel == serial, FIFO fast path == heap.
+
+Every optimization in this repository must be invisible in the numbers:
+the parallel executor fans out independently seeded runs, and the engine's
+FIFO delivery fast path replaces the heap only when order provably cannot
+change.  These tests pin both equivalences end-to-end through
+:func:`run_once`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments.params import with_params
+from repro.experiments.runner import incompleteness_samples, run_once
+from repro.experiments.sweep import Sweep
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import JitterNetwork, LossyNetwork
+from repro.sim.rng import RngRegistry
+
+BASE = with_params(n=64, seed=11)
+
+
+def _result_fingerprint(result):
+    """Every number a RunResult carries, in comparable form."""
+    return (
+        result.rounds,
+        result.messages_sent,
+        result.messages_dropped,
+        result.bytes_sent,
+        result.crashes,
+        result.report.mean_completeness,
+        result.report.mean_completeness_initial,
+        dict(result.report.per_member),
+        result.true_value,
+        # nan != nan, so compare through a tuple that normalizes it
+        None if math.isnan(result.mean_estimate_error)
+        else result.mean_estimate_error,
+    )
+
+
+class TestParallelMatchesSerial:
+    def test_incompleteness_samples(self):
+        serial = incompleteness_samples(BASE, runs=6, jobs=1)
+        parallel = incompleteness_samples(BASE, runs=6, jobs=4)
+        assert parallel == serial  # bit-identical, not approximately
+
+    def test_sweep_run(self):
+        cells = [{"ucastl": 0.1}, {"ucastl": 0.3}]
+        serial = Sweep(BASE, runs=4).run(cells, jobs=1)
+        parallel = Sweep(BASE, runs=4).run(cells, jobs=4)
+        assert parallel.headers == serial.headers
+        assert parallel.rows == serial.rows  # bit-identical table
+
+    def test_sweep_rejects_heterogeneous_cells(self):
+        with pytest.raises(ValueError, match="cell 1"):
+            Sweep(BASE, runs=1).run([{"ucastl": 0.1}, {"pf": 0.01}])
+
+
+class _HeapOnlyEngine(SimulationEngine):
+    """SimulationEngine with the FIFO fast path disabled."""
+
+    def __init__(self, **kwargs):
+        super().__init__(fifo_fast_path=False, **kwargs)
+
+
+class TestFifoFastPathMatchesHeap:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            BASE,
+            with_params(n=200, seed=2, pf=0.004),
+            with_params(n=64, seed=5, push_pull=True),
+            with_params(n=64, seed=7, protocol="flat_gossip"),
+        ],
+        ids=["default", "crashy", "push_pull", "flat_gossip"],
+    )
+    def test_run_once_identical(self, config, monkeypatch):
+        fast = run_once(config)
+        monkeypatch.setattr(runner_module, "SimulationEngine",
+                            _HeapOnlyEngine)
+        heap = run_once(config)
+        assert _result_fingerprint(heap) == _result_fingerprint(fast)
+
+    def test_fast_path_engaged_for_constant_latency(self):
+        engine = SimulationEngine(network=LossyNetwork(ucastl=0.1),
+                                  rngs=RngRegistry(seed=0))
+        assert engine._fifo is not None
+
+    def test_fast_path_skipped_for_stochastic_latency(self):
+        engine = SimulationEngine(
+            network=JitterNetwork(mean_extra_latency=2.0),
+            rngs=RngRegistry(seed=0),
+        )
+        assert engine._fifo is None
+
+    def test_flag_forces_heap(self):
+        engine = SimulationEngine(network=LossyNetwork(ucastl=0.1),
+                                  rngs=RngRegistry(seed=0),
+                                  fifo_fast_path=False)
+        assert engine._fifo is None

@@ -1,0 +1,91 @@
+"""Unit tests for the parallel experiment executor."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import JOBS_ENV, ParallelRunner, resolve_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_int(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("5") == 5
+
+    def test_auto_uses_available_cores(self):
+        expected = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else os.cpu_count() or 1
+        )
+        assert resolve_jobs("auto") == expected
+        assert resolve_jobs(0) == expected
+
+    def test_env_var_consulted_when_unset(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(None) == 7
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(2) == 2
+
+    def test_env_auto(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "auto")
+        assert resolve_jobs(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs("many")
+
+
+class TestParallelRunner:
+    def test_serial_map_preserves_order(self):
+        runner = ParallelRunner(jobs=1)
+        assert runner.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_parallel_map_preserves_order(self):
+        runner = ParallelRunner(jobs=2)
+        assert runner.map(_square, range(25)) == [x * x for x in range(25)]
+
+    def test_single_item_stays_serial(self):
+        # One item never pays pool startup; result is identical anyway.
+        assert ParallelRunner(jobs=4).map(_square, [6]) == [36]
+
+    def test_empty_input(self):
+        assert ParallelRunner(jobs=4).map(_square, []) == []
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning here")
+
+        # The runner imports the pool lazily from concurrent.futures, so
+        # patching the module attribute intercepts it.
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", BrokenPool
+        )
+        runner = ParallelRunner(jobs=4)
+        assert runner.map(_square, range(8)) == [x * x for x in range(8)]
+
+    def test_unpicklable_fn_raises(self):
+        # A genuine user error (not pool infrastructure) must not be
+        # silently retried serially.
+        runner = ParallelRunner(jobs=2)
+        with pytest.raises(Exception):
+            runner.map(lambda x: x, range(4))
