@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench bench-quick bench-figures figures examples clean
+.PHONY: install test bench bench-quick bench-figures chaos-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,12 @@ bench-quick:      ## CI-sized perf smoke run
 
 bench-figures:    ## regenerate every paper figure + the extra studies
 	pytest benchmarks/ --benchmark-only -s
+
+chaos-smoke:      ## small deterministic chaos-campaign matrix + bound check
+	PYTHONPATH=src python -m repro chaos \
+		--campaign paper-iid --campaign crash-storm \
+		--campaign rack-failure --campaign partition-heal \
+		--n 64 --runs 2 --seed 0 --jobs auto --assert-bound
 
 figures:          ## quick CLI pass over the analytic figures
 	python -m repro fig4

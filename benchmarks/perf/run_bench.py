@@ -1,12 +1,20 @@
 #!/usr/bin/env python
 """Wall-clock benchmark harness: time canonical workloads, track them.
 
-Times a small set of canonical simulation workloads and writes
-``BENCH_core.json`` at the repository root so every future PR has a perf
-trajectory to compare against.  Each entry records the workload's config,
-wall-clock seconds, and the git revision that produced it; parallel
-workloads additionally record the serial/parallel split, the speedup, and
-a checksum proving the parallel numbers are bit-identical to serial.
+Times a small set of canonical simulation workloads and *appends* a
+per-revision record to ``BENCH_core.json`` at the repository root, so
+every future PR has a perf trajectory to compare against.  Each entry
+records the workload's config, wall-clock seconds, and the git revision
+that produced it; parallel workloads additionally record the
+serial/parallel split, the speedup, and a checksum proving the parallel
+numbers are bit-identical to serial.
+
+Each new run is compared against the most recent comparable record
+(same ``--quick`` flag): any workload more than 20% slower is flagged
+as a wall-clock regression in the output, and ``--fail-on-regression``
+turns the flag into a nonzero exit for CI gating on stable hardware.
+Legacy single-document ``BENCH_core.json`` files (schema
+``repro-bench/1``) are converted to the first history record in place.
 
 Canonical workloads:
 
@@ -44,6 +52,57 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.parallel import resolve_jobs, run_many  # noqa: E402
 from repro.experiments.params import with_params  # noqa: E402
 from repro.experiments.runner import run_once  # noqa: E402
+
+
+#: A workload is flagged when its wall-clock exceeds the baseline by this
+#: factor (the ROADMAP's ">20% regression" check).
+REGRESSION_FACTOR = 1.20
+
+#: History records kept in BENCH_core.json (oldest dropped first).
+HISTORY_LIMIT = 100
+
+
+def _load_history(path: pathlib.Path) -> list:
+    """Existing history records, converting the legacy single-doc schema."""
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema == "repro-bench/1":
+        record = {k: v for k, v in document.items() if k != "schema"}
+        return [record]
+    if schema == "repro-bench/2":
+        history = document.get("history", [])
+        return list(history) if isinstance(history, list) else []
+    return []
+
+
+def _find_regressions(record: dict, history: list) -> list[str]:
+    """Workloads >20% slower than the latest comparable history record."""
+    baseline = next(
+        (past for past in reversed(history)
+         if past.get("quick") == record["quick"]),
+        None,
+    )
+    if baseline is None:
+        return []
+    past_seconds = {
+        entry["workload"]: entry["seconds"]
+        for entry in baseline.get("entries", [])
+        if entry.get("seconds")
+    }
+    flags = []
+    for entry in record["entries"]:
+        old = past_seconds.get(entry["workload"])
+        if old and entry["seconds"] > old * REGRESSION_FACTOR:
+            slowdown = (entry["seconds"] / old - 1.0) * 100.0
+            flags.append(
+                f"{entry['workload']}: {entry['seconds']}s vs {old}s at "
+                f"{baseline.get('git_revision', 'unknown')[:12]} "
+                f"(+{slowdown:.0f}%)"
+            )
+    return flags
 
 
 def _git_revision() -> str:
@@ -159,6 +218,11 @@ def main(argv=None) -> int:
         "--output", default=str(REPO_ROOT / "BENCH_core.json"),
         help="output path (default: BENCH_core.json at the repo root)",
     )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit nonzero when any workload regresses >20% against the "
+             "latest comparable history record (use on stable hardware)",
+    )
     args = parser.parse_args(argv)
     # The harness default is one worker per core ("auto"), not the library
     # default of serial — a benchmark run wants the machine saturated.
@@ -179,8 +243,7 @@ def main(argv=None) -> int:
           f"({entry['messages_sent']} messages)", flush=True)
     entries.append(entry)
 
-    document = {
-        "schema": "repro-bench/1",
+    record = {
         "git_revision": _git_revision(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
@@ -191,8 +254,22 @@ def main(argv=None) -> int:
         "entries": entries,
     }
     output = pathlib.Path(args.output)
+    history = _load_history(output)
+    regressions = _find_regressions(record, history)
+    for flag in regressions:
+        print(f"[bench] REGRESSION {flag}", flush=True)
+    if not regressions and history:
+        print("[bench] no >20% wall-clock regressions vs latest "
+              "comparable record", flush=True)
+    history.append(record)
+    document = {
+        "schema": "repro-bench/2",
+        "history": history[-HISTORY_LIMIT:],
+    }
     output.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"[bench] wrote {output}")
+    print(f"[bench] wrote {output} ({len(document['history'])} record(s))")
+    if regressions and args.fail_on_regression:
+        return 1
     return 0
 
 

@@ -1,0 +1,50 @@
+"""Chaos campaign subsystem: composable, seeded fault injection.
+
+The paper's simulations inject exactly two *independent* fault processes
+(per-message loss, per-round crashes).  This package expresses the
+correlated failure structures that actually break gossip aggregation in
+deployment — crash storms, rack-correlated wipes, membership churn,
+healing partitions, loss and latency bursts — as declarative, named
+campaigns that compile down to the simulator's existing
+:class:`~repro.sim.failures.FailureModel` and
+:class:`~repro.sim.network.Network` hook points plus the engine's
+begin-round bus.  Campaigns are deterministic under a seed and are swept
+against the Theorem 1 completeness bound by
+:mod:`repro.experiments.robustness` (CLI: ``repro chaos``).
+"""
+
+from repro.chaos.campaign import (
+    CampaignController,
+    CampaignFailureModel,
+    ChaosCampaign,
+    ChaosNetwork,
+    CompiledCampaign,
+)
+from repro.chaos.campaigns import CAMPAIGNS, campaign_names, get_campaign
+from repro.chaos.events import (
+    ChurnWindow,
+    CorrelatedCrash,
+    CrashStorm,
+    FaultEvent,
+    LatencyBurst,
+    LossBurst,
+    PartitionWindow,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "campaign_names",
+    "get_campaign",
+    "ChaosCampaign",
+    "CompiledCampaign",
+    "ChaosNetwork",
+    "CampaignFailureModel",
+    "CampaignController",
+    "FaultEvent",
+    "CrashStorm",
+    "CorrelatedCrash",
+    "ChurnWindow",
+    "PartitionWindow",
+    "LossBurst",
+    "LatencyBurst",
+]

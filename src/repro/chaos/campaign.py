@@ -1,0 +1,374 @@
+"""Compile declarative fault campaigns down to simulator hook points.
+
+A :class:`ChaosCampaign` is a named, seeded timeline of
+:mod:`repro.chaos.events` fault events.  :meth:`ChaosCampaign.compile`
+lowers it onto the three extension points the simulator already has:
+
+* crash processes (storms, rack wipes, churn) become a
+  :class:`CampaignFailureModel` — a
+  :class:`~repro.sim.failures.FailureModel` layered over the paper's
+  independent per-round crash process via
+  :class:`~repro.sim.failures.ComposedFailures` semantics;
+* loss / latency / partition processes become a mutable
+  :class:`ChaosNetwork` driven by a :class:`CampaignController`
+  subscribed to the engine's begin-round bus
+  (:class:`~repro.sim.events.RoundBus`), so network state changes land
+  on exact round boundaries;
+* all sampling uses the run's seeded ``failures`` stream, keeping every
+  campaign bit-for-bit reproducible and safe to fan out across worker
+  processes.
+
+Event times are fractions of the run's protocol horizon; ``compile``
+resolves them to absolute rounds (see :mod:`repro.chaos.events`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.chaos.events import (
+    ChurnWindow,
+    CorrelatedCrash,
+    CrashStorm,
+    FaultEvent,
+    LatencyBurst,
+    LossBurst,
+    PartitionWindow,
+)
+from repro.sim.failures import CrashWithoutRecovery, FailureModel
+from repro.sim.network import Message, Network
+
+__all__ = [
+    "ChaosCampaign",
+    "CompiledCampaign",
+    "ChaosNetwork",
+    "CampaignFailureModel",
+    "CampaignController",
+]
+
+
+def _to_round(fraction: float, horizon: int) -> int:
+    """Resolve a [0, 1] timeline fraction to an absolute round number."""
+    return min(max(0, int(fraction * horizon)), max(0, horizon - 1))
+
+
+class ChaosNetwork(Network):
+    """A lossy network whose fault state is mutated at round boundaries.
+
+    The :class:`CampaignController` (via the engine's round bus) sets
+    ``current_loss``, ``current_extra_latency`` and the active partition
+    before each round's sends; between mutations the model behaves like
+    :class:`~repro.sim.network.LossyNetwork` at ``base_loss``.  Latency
+    may vary mid-run, so :attr:`fixed_latency` is ``None`` and the engine
+    schedules deliveries on its heap (deterministic order regardless).
+    """
+
+    def __init__(self, base_loss: float = 0.25, **kwargs):
+        if not 0.0 <= base_loss <= 1.0:
+            raise ValueError(f"base_loss must be a probability, "
+                             f"got {base_loss}")
+        super().__init__(**kwargs)
+        self.base_loss = base_loss
+        self.current_loss = base_loss
+        self.current_extra_latency = 0
+        #: Active partition: (parts, partl), or None when whole.
+        self.partition: tuple[int, float] | None = None
+
+    def crosses_partition(self, message: Message) -> bool:
+        if self.partition is None:
+            return False
+        parts, __ = self.partition
+        return message.src % parts != message.dest % parts
+
+    def loss_probability(self, message: Message) -> float:
+        if self.partition is not None and self.crosses_partition(message):
+            return max(self.partition[1], self.current_loss)
+        return self.current_loss
+
+    def latency(self, message: Message, rng) -> int:
+        return self.latency_rounds + self.current_extra_latency
+
+    def plan_delivery(self, message: Message, rngs):
+        crossing = self.crosses_partition(message)
+        before = self.stats.dropped
+        outcome = super().plan_delivery(message, rngs)
+        if crossing and outcome is None and self.stats.dropped == before + 1:
+            self.stats.dropped_cross_partition += 1
+        return outcome
+
+
+class CampaignController:
+    """Begin-round subscriber that applies the compiled network timeline.
+
+    Holds the resolved (absolute-round) loss / latency / partition
+    windows and rewrites the :class:`ChaosNetwork`'s mutable state every
+    round.  Stateless across rounds — each round's state is recomputed
+    from the timeline, so the controller is trivially deterministic and
+    restart-safe.
+    """
+
+    def __init__(
+        self,
+        network: ChaosNetwork,
+        loss_windows: Sequence[tuple[int, int, float]] = (),
+        latency_windows: Sequence[tuple[int, int, int]] = (),
+        partition_windows: Sequence[tuple[int, int, int, float]] = (),
+    ):
+        self.network = network
+        self.loss_windows = tuple(loss_windows)
+        self.latency_windows = tuple(latency_windows)
+        self.partition_windows = tuple(partition_windows)
+        #: Rounds during which any window was active (telemetry).
+        self.degraded_rounds = 0
+
+    def on_begin_round(self, round_number: int) -> None:
+        network = self.network
+        loss = network.base_loss
+        for start, stop, value in self.loss_windows:
+            if start <= round_number < stop:
+                loss = max(loss, value)
+        extra_latency = 0
+        for start, stop, extra in self.latency_windows:
+            if start <= round_number < stop:
+                extra_latency = max(extra_latency, extra)
+        partition: tuple[int, float] | None = None
+        for start, stop, parts, partl in self.partition_windows:
+            if start <= round_number < stop:
+                partition = (parts, partl)
+        degraded = (
+            loss != network.base_loss
+            or extra_latency > 0
+            or partition is not None
+        )
+        if degraded:
+            self.degraded_rounds += 1
+        network.current_loss = loss
+        network.current_extra_latency = extra_latency
+        network.partition = partition
+
+
+class CampaignFailureModel(FailureModel):
+    """Correlated crash / recovery processes layered over iid crashes.
+
+    Stepped once per round by the engine with the seeded ``failures``
+    stream; all victim sampling happens here, in a fixed order (base iid
+    draws, then storms, then rack wipes, then churn), so adding an event
+    type never perturbs the draws of another.
+    """
+
+    def __init__(
+        self,
+        base_pf: float = 0.0,
+        storms: Sequence[tuple[int, float]] = (),
+        rack_wipes: Sequence[tuple[int, float, int | None]] = (),
+        churn_windows: Sequence[tuple[int, int, float, int, int]] = (),
+        box_groups: Sequence[Sequence[int]] = (),
+    ):
+        self.base = CrashWithoutRecovery(pf=base_pf) if base_pf > 0 else None
+        self.storms = tuple(storms)
+        self.rack_wipes = tuple(rack_wipes)
+        self.churn_windows = tuple(churn_windows)
+        self.box_groups = tuple(tuple(group) for group in box_groups)
+        for __, boxes, __rec in self.rack_wipes:
+            if boxes > 0 and not self.box_groups:
+                raise ValueError(
+                    "a CorrelatedCrash event needs box_groups (the "
+                    "member-by-grid-box partition) to sample victims from"
+                )
+        self._pending_recovery: dict[int, set[int]] = {}
+        self.may_recover = bool(self.churn_windows) or any(
+            recover is not None for __, __b, recover in self.rack_wipes
+        )
+
+    def step(self, round_number, alive_ids, crashed_ids, rng):
+        to_crash: set[int] = set()
+        to_recover: set[int] = set()
+        if self.base is not None:
+            crashed, __ = self.base.step(
+                round_number, alive_ids, crashed_ids, rng
+            )
+            to_crash |= crashed
+        for at, fraction in self.storms:
+            if at != round_number or not alive_ids:
+                continue
+            count = int(round(fraction * len(alive_ids)))
+            if count >= len(alive_ids):
+                to_crash |= set(alive_ids)
+            elif count > 0:
+                picks = rng.choice(len(alive_ids), size=count, replace=False)
+                to_crash |= {alive_ids[int(i)] for i in picks}
+        for at, boxes, recover_round in self.rack_wipes:
+            if at != round_number or not self.box_groups:
+                continue
+            count = max(1, int(round(boxes * len(self.box_groups))))
+            count = min(count, len(self.box_groups))
+            picks = rng.choice(len(self.box_groups), size=count, replace=False)
+            victims = {
+                member
+                for i in sorted(int(p) for p in picks)
+                for member in self.box_groups[i]
+            }
+            to_crash |= victims
+            if recover_round is not None:
+                self._pending_recovery.setdefault(
+                    recover_round, set()
+                ).update(victims)
+        for start, stop, rate, delay_low, delay_high in self.churn_windows:
+            if not start <= round_number < stop or not alive_ids or rate <= 0:
+                continue
+            draws = rng.random(len(alive_ids))
+            for node_id, draw in zip(alive_ids, draws):
+                if draw < rate:
+                    to_crash.add(node_id)
+                    delay = int(rng.integers(delay_low, delay_high + 1))
+                    self._pending_recovery.setdefault(
+                        round_number + delay, set()
+                    ).add(node_id)
+        to_recover |= self._pending_recovery.pop(round_number, set())
+        return to_crash, to_recover
+
+
+@dataclass
+class CompiledCampaign:
+    """A campaign lowered onto one run's concrete round timeline."""
+
+    campaign: "ChaosCampaign"
+    horizon: int
+    network: ChaosNetwork
+    failure_model: CampaignFailureModel
+    controller: CampaignController
+
+    def install(self, engine) -> None:
+        """Subscribe the controller to the engine's begin-round bus.
+
+        The engine must be driving this campaign's network and failure
+        model — installing onto a different world would silently split
+        the timeline in two.
+        """
+        if engine.network is not self.network:
+            raise ValueError(
+                "engine.network is not this campaign's compiled network"
+            )
+        if engine.failure_model is not self.failure_model:
+            raise ValueError(
+                "engine.failure_model is not this campaign's compiled model"
+            )
+        engine.round_bus.subscribe(self.controller.on_begin_round)
+
+
+@dataclass(frozen=True)
+class ChaosCampaign:
+    """A named, composable timeline of fault events.
+
+    ``paper_assumptions`` marks campaigns whose fault processes stay
+    inside Theorem 1's model — independent per-message loss plus
+    independent per-round crashes — so the robustness harness knows where
+    the ``1 - 1/N`` completeness bound must hold and where it is merely
+    measured.
+    """
+
+    name: str
+    description: str
+    events: tuple[FaultEvent, ...] = ()
+    paper_assumptions: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("campaign name must be non-empty")
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(
+                    f"campaign {self.name!r}: {event!r} is not a FaultEvent"
+                )
+        if self.paper_assumptions and self.events:
+            raise ValueError(
+                f"campaign {self.name!r} claims paper_assumptions but "
+                f"schedules correlated events; Theorem 1's model allows "
+                f"only independent loss and per-round crashes"
+            )
+
+    def compile(
+        self,
+        horizon: int,
+        base_loss: float = 0.25,
+        base_pf: float = 0.001,
+        box_groups: Sequence[Sequence[int]] = (),
+        **network_kwargs,
+    ) -> CompiledCampaign:
+        """Resolve the timeline against a concrete ``horizon`` (rounds).
+
+        ``base_loss`` / ``base_pf`` are the background independent fault
+        rates (the experiment config's ``ucastl`` / ``pf``); events layer
+        on top.  ``box_groups`` partitions member ids by grid box for
+        rack-correlated events.  ``network_kwargs`` pass through to the
+        :class:`ChaosNetwork` (message-size bound, bandwidth cap).
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1 round, got {horizon}")
+        storms: list[tuple[int, float]] = []
+        rack_wipes: list[tuple[int, float, int | None]] = []
+        churn: list[tuple[int, int, float, int, int]] = []
+        loss_windows: list[tuple[int, int, float]] = []
+        latency_windows: list[tuple[int, int, int]] = []
+        partition_windows: list[tuple[int, int, int, float]] = []
+
+        def window(start: float, stop: float) -> tuple[int, int]:
+            start_round = _to_round(start, horizon)
+            stop_round = max(start_round + 1, int(stop * horizon))
+            return start_round, stop_round
+
+        for event in self.events:
+            if isinstance(event, CrashStorm):
+                storms.append((_to_round(event.at, horizon), event.fraction))
+            elif isinstance(event, CorrelatedCrash):
+                recover = (
+                    None
+                    if event.recover_at is None
+                    else max(
+                        _to_round(event.at, horizon) + 1,
+                        _to_round(event.recover_at, horizon),
+                    )
+                )
+                rack_wipes.append(
+                    (_to_round(event.at, horizon), event.boxes, recover)
+                )
+            elif isinstance(event, ChurnWindow):
+                start, stop = window(event.start, event.stop)
+                low, high = event.recovery_delay
+                churn.append((start, stop, event.crash_rate, low, high))
+            elif isinstance(event, PartitionWindow):
+                start, stop = window(event.start, event.stop)
+                partition_windows.append(
+                    (start, stop, event.parts, event.partl)
+                )
+            elif isinstance(event, LossBurst):
+                start, stop = window(event.start, event.stop)
+                loss_windows.append((start, stop, event.loss))
+            elif isinstance(event, LatencyBurst):
+                start, stop = window(event.start, event.stop)
+                latency_windows.append((start, stop, event.extra_rounds))
+            else:  # pragma: no cover - guarded by __post_init__
+                raise TypeError(f"unknown event type {type(event).__name__}")
+
+        network = ChaosNetwork(base_loss=base_loss, **network_kwargs)
+        controller = CampaignController(
+            network,
+            loss_windows=loss_windows,
+            latency_windows=latency_windows,
+            partition_windows=partition_windows,
+        )
+        failure_model = CampaignFailureModel(
+            base_pf=base_pf,
+            storms=storms,
+            rack_wipes=rack_wipes,
+            churn_windows=churn,
+            box_groups=box_groups,
+        )
+        return CompiledCampaign(
+            campaign=self,
+            horizon=horizon,
+            network=network,
+            failure_model=failure_model,
+            controller=controller,
+        )

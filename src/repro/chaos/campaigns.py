@@ -1,0 +1,129 @@
+"""The named campaign library the robustness harness sweeps.
+
+Each entry is a :class:`~repro.chaos.campaign.ChaosCampaign` exercising
+one failure structure the dependability literature shows breaks gossip
+aggregation in practice (Jesus et al., *Dependability in Aggregation by
+Averaging*; Almeida et al., *Flow-Updating Meets Mass-Distribution*),
+plus ``paper-iid`` — the control campaign whose faults stay inside
+Theorem 1's model and where the ``1 - 1/N`` completeness bound is
+asserted, not just measured.
+
+Campaigns are referenced by name from :class:`RunConfig.campaign` so
+configs stay picklable across the parallel runner; the background
+independent loss / crash rates always come from the config's ``ucastl``
+and ``pf`` at compile time.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.campaign import ChaosCampaign
+from repro.chaos.events import (
+    ChurnWindow,
+    CorrelatedCrash,
+    CrashStorm,
+    LatencyBurst,
+    LossBurst,
+    PartitionWindow,
+)
+
+__all__ = ["CAMPAIGNS", "get_campaign", "campaign_names"]
+
+
+CAMPAIGNS: dict[str, ChaosCampaign] = {
+    campaign.name: campaign
+    for campaign in (
+        ChaosCampaign(
+            name="paper-iid",
+            description=(
+                "Theorem 1's model exactly: independent per-message loss "
+                "(ucastl) and independent per-round crashes (pf), nothing "
+                "else.  The completeness bound 1 - 1/N is asserted here."
+            ),
+            events=(),
+            paper_assumptions=True,
+        ),
+        ChaosCampaign(
+            name="crash-storm",
+            description=(
+                "One uncorrelated burst: 20% of the live members crash "
+                "simultaneously a third of the way into the run, on top of "
+                "the background iid faults."
+            ),
+            events=(CrashStorm(at=0.33, fraction=0.20),),
+        ),
+        ChaosCampaign(
+            name="rack-failure",
+            description=(
+                "Grid-box-correlated wipe: 15% of the occupied grid boxes "
+                "lose every member at once a quarter of the way in — the "
+                "protocol's worst case, since a box holds all copies of "
+                "its phase-1 votes.  The racks reboot together at 70%."
+            ),
+            events=(CorrelatedCrash(at=0.25, boxes=0.15, recover_at=0.70),),
+        ),
+        ChaosCampaign(
+            name="churn",
+            description=(
+                "Membership churn: between 20% and 70% of the run every "
+                "live member crashes w.p. 0.01 per round and reboots with "
+                "state intact after 2-8 rounds."
+            ),
+            events=(
+                ChurnWindow(
+                    start=0.20, stop=0.70, crash_rate=0.01,
+                    recovery_delay=(2, 8),
+                ),
+            ),
+        ),
+        ChaosCampaign(
+            name="partition-heal",
+            description=(
+                "Transient partition: the group splits in two halves from "
+                "20% to 60% of the run with 90% cross-partition loss "
+                "(Figure 9's split, but healing), then the partition heals."
+            ),
+            events=(PartitionWindow(start=0.20, stop=0.60, partl=0.90),),
+        ),
+        ChaosCampaign(
+            name="loss-burst",
+            description=(
+                "Congestion bursts: uniform loss jumps to 60% for the "
+                "20-40% window and to 50% for the 60-70% window, reverting "
+                "to the background rate in between."
+            ),
+            events=(
+                LossBurst(start=0.20, stop=0.40, loss=0.60),
+                LossBurst(start=0.60, stop=0.70, loss=0.50),
+            ),
+        ),
+        ChaosCampaign(
+            name="latency-spike",
+            description=(
+                "Queueing spike: messages sent during the 30-50% window "
+                "take 3 extra rounds to deliver, with a simultaneous mild "
+                "loss burst — stresses the phase-timeout machinery rather "
+                "than raw message survival."
+            ),
+            events=(
+                LatencyBurst(start=0.30, stop=0.50, extra_rounds=3),
+                LossBurst(start=0.30, stop=0.50, loss=0.40),
+            ),
+        ),
+    )
+}
+
+
+def campaign_names() -> tuple[str, ...]:
+    """All registered campaign names, in registry order."""
+    return tuple(CAMPAIGNS)
+
+
+def get_campaign(name: str) -> ChaosCampaign:
+    """Look up a campaign by name, with a helpful error on a typo."""
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign {name!r}; registered campaigns: "
+            f"{', '.join(CAMPAIGNS)}"
+        ) from None

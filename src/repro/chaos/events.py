@@ -1,0 +1,185 @@
+"""Declarative fault events — the vocabulary of a chaos campaign.
+
+Each event describes one correlated fault process on a *normalized*
+timeline: every time field is a fraction in ``[0, 1]`` of the run's
+protocol horizon (the nominal ``rounds_per_phase * num_phases`` round
+budget), so the same named campaign scales meaningfully across the
+``(N, K, b)`` grid the robustness harness sweeps — "a storm one third of
+the way in" hits phase 2 of a 200-member run and phase 4 of an
+8192-member run alike.
+
+Events are pure data; :mod:`repro.chaos.campaign` compiles them down to
+the simulator's existing hook points (a
+:class:`~repro.sim.failures.FailureModel` for crash processes, a
+:class:`~repro.sim.network.Network` plus a begin-round controller for
+loss / latency / partition state).  All sampling the compiled forms do is
+drawn from the run's seeded ``failures`` stream, so a campaign is exactly
+as deterministic as the two independent fault processes the paper's own
+simulations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultEvent",
+    "CrashStorm",
+    "CorrelatedCrash",
+    "ChurnWindow",
+    "PartitionWindow",
+    "LossBurst",
+    "LatencyBurst",
+]
+
+
+def _check_fraction(name: str, value: float, low: float = 0.0) -> None:
+    if not low <= value <= 1.0:
+        raise ValueError(f"{name} must be in [{low}, 1], got {value}")
+
+
+def _check_window(start: float, stop: float) -> None:
+    _check_fraction("start", start)
+    _check_fraction("stop", stop)
+    if stop <= start:
+        raise ValueError(f"window must satisfy start < stop, "
+                         f"got [{start}, {stop})")
+
+
+class FaultEvent:
+    """Marker base class for campaign timeline events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CrashStorm(FaultEvent):
+    """Crash a fraction of the currently-live members, all at once.
+
+    The victims are sampled uniformly at the event round — an *uncorrelated*
+    burst, violating the paper's small-independent-``pf`` assumption in
+    magnitude but not in structure.
+    """
+
+    at: float          #: event time, as a fraction of the horizon
+    fraction: float    #: fraction of live members crashed
+
+    def __post_init__(self):
+        _check_fraction("at", self.at)
+        _check_fraction("fraction", self.fraction)
+
+
+@dataclass(frozen=True)
+class CorrelatedCrash(FaultEvent):
+    """Wipe whole grid boxes (racks) at once, optionally recovering later.
+
+    Grid-box-correlated failure is the protocol's worst case: a box holds
+    *every* copy of its members' phase-1 votes, so losing a box before its
+    aggregate escapes the subtree loses those votes for good.  ``boxes``
+    is the fraction of occupied grid boxes wiped; with ``recover_at`` set
+    the victims reboot together at that time (state preserved — the
+    simulator's persisted-vote recovery semantics).
+    """
+
+    at: float                    #: event time (fraction of horizon)
+    boxes: float                 #: fraction of occupied grid boxes wiped
+    recover_at: float | None = None  #: group reboot time, None = never
+
+    def __post_init__(self):
+        _check_fraction("at", self.at)
+        _check_fraction("boxes", self.boxes)
+        if self.recover_at is not None:
+            _check_fraction("recover_at", self.recover_at)
+            if self.recover_at <= self.at:
+                raise ValueError(
+                    f"recover_at ({self.recover_at}) must be after the "
+                    f"crash at {self.at}"
+                )
+
+
+@dataclass(frozen=True)
+class ChurnWindow(FaultEvent):
+    """Membership churn: elevated crash rate with staggered recovery.
+
+    During ``[start, stop)`` every live member crashes with probability
+    ``crash_rate`` per round; each victim recovers after a delay drawn
+    uniformly from ``recovery_delay`` rounds (inclusive).  Members rejoin
+    with their state intact, mid-protocol — the rejoin-after-compose
+    safety case the edge-case tests pin.
+    """
+
+    start: float
+    stop: float
+    crash_rate: float                       #: per-round crash probability
+    recovery_delay: tuple[int, int] = (2, 8)  #: min/max rounds down
+
+    def __post_init__(self):
+        _check_window(self.start, self.stop)
+        _check_fraction("crash_rate", self.crash_rate)
+        low, high = self.recovery_delay
+        if not 1 <= low <= high:
+            raise ValueError(
+                f"recovery_delay must satisfy 1 <= min <= max, "
+                f"got {self.recovery_delay}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow(FaultEvent):
+    """A transient partition that heals: Figure 9's split, with an end.
+
+    During ``[start, stop)`` the group is split into ``parts`` sides
+    (``node_id % parts``) and cross-side messages are dropped with
+    ``partl`` (never below the background loss).  At ``stop`` the
+    partition heals and loss reverts to the background rate.
+    """
+
+    start: float
+    stop: float
+    partl: float = 0.9
+    parts: int = 2
+
+    def __post_init__(self):
+        _check_window(self.start, self.stop)
+        _check_fraction("partl", self.partl)
+        if self.parts < 2:
+            raise ValueError(f"parts must be >= 2, got {self.parts}")
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """A window of elevated uniform message loss (congestion burst).
+
+    During ``[start, stop)`` the unicast loss probability becomes
+    ``max(loss, background)``; overlapping bursts take the maximum.
+    """
+
+    start: float
+    stop: float
+    loss: float
+
+    def __post_init__(self):
+        _check_window(self.start, self.stop)
+        _check_fraction("loss", self.loss)
+
+
+@dataclass(frozen=True)
+class LatencyBurst(FaultEvent):
+    """A window of added delivery latency (queueing spike).
+
+    Messages *sent* during ``[start, stop)`` take ``extra_rounds``
+    additional rounds to deliver.  Latency varies mid-run, so a compiled
+    campaign network always uses the engine's heap scheduler (delivery
+    order is still deterministic).
+    """
+
+    start: float
+    stop: float
+    extra_rounds: int
+
+    def __post_init__(self):
+        _check_window(self.start, self.stop)
+        if self.extra_rounds < 1:
+            raise ValueError(
+                f"extra_rounds must be >= 1, got {self.extra_rounds}"
+            )

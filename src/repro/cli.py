@@ -94,6 +94,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show the box-occupancy histogram",
     )
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="sweep chaos campaigns against the Theorem 1 bound",
+        description=(
+            "Run named fault-injection campaigns (repro.chaos) against a "
+            "grid of (N, K, fanout) points and report whether measured "
+            "completeness meets Theorem 1's 1 - 1/N floor where the "
+            "theorem's assumptions hold.  Output is byte-deterministic "
+            "under a fixed seed for any --jobs value."
+        ),
+    )
+    chaos_parser.add_argument(
+        "--list", action="store_true", dest="list_campaigns",
+        help="list available campaigns and exit",
+    )
+    chaos_parser.add_argument(
+        "--campaign", action="append", default=None, metavar="NAME",
+        help="campaign to run (repeatable; default: all campaigns)",
+    )
+    chaos_parser.add_argument(
+        "--n", action="append", type=int, default=None, metavar="N",
+        help="group size to sweep (repeatable; default: 64 256)",
+    )
+    chaos_parser.add_argument(
+        "--k", action="append", type=int, default=None, metavar="K",
+        help="members per box to sweep (repeatable; default: 4)",
+    )
+    chaos_parser.add_argument(
+        "--fanout", action="append", type=int, default=None, metavar="M",
+        help="gossip fanout to sweep (repeatable; default: 6, which "
+             "gives b >= 4 at the paper's loss/crash rates)",
+    )
+    chaos_parser.add_argument("--runs", type=int, default=3,
+                              help="seeded runs per cell")
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument("--ucastl", type=float, default=0.25)
+    chaos_parser.add_argument("--pf", type=float, default=0.001)
+    chaos_parser.add_argument(
+        "--adaptive", action="store_true",
+        help="enable adaptive phase deadlines (protocol hardening)",
+    )
+    chaos_parser.add_argument(
+        "--retransmit", type=int, default=0, metavar="R",
+        help="final-phase representative retransmission budget",
+    )
+    chaos_parser.add_argument(
+        "--jobs", default=None, metavar="N",
+        help="worker processes (0 or 'auto' = one per core; results are "
+             "bit-identical to serial for any value)",
+    )
+    chaos_parser.add_argument(
+        "--assert-bound", action="store_true",
+        help="exit non-zero if any applicable cell misses 1 - 1/N",
+    )
+    chaos_parser.add_argument("--json", default=None, metavar="FILE",
+                              help="write the full report as JSON")
+    chaos_parser.add_argument("--csv", default=None, metavar="FILE",
+                              help="write the report as CSV")
+
     monitor_parser = sub.add_parser(
         "monitor", help="run a periodic monitoring session"
     )
@@ -175,6 +234,43 @@ def _show_hierarchy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import CAMPAIGNS, campaign_names
+    from repro.experiments.robustness import robustness_matrix
+
+    if args.list_campaigns:
+        for name in campaign_names():
+            print(f"{name:<16} {CAMPAIGNS[name].description}")
+        return 0
+    campaigns = tuple(args.campaign) if args.campaign else None
+    report = robustness_matrix(
+        campaigns=campaigns,
+        ns=tuple(args.n) if args.n else (64, 256),
+        ks=tuple(args.k) if args.k else (4,),
+        fanouts=tuple(args.fanout) if args.fanout else (6,),
+        runs=args.runs,
+        seed=args.seed,
+        ucastl=args.ucastl,
+        pf=args.pf,
+        adaptive_deadlines=args.adaptive,
+        final_retransmit=args.retransmit,
+        jobs=args.jobs,
+    )
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(report.to_csv())
+        print(f"wrote {args.csv}")
+    if args.assert_bound and report.violations:
+        print(f"BOUND VIOLATED in {len(report.violations)} cell(s)")
+        return 1
+    return 0
+
+
 def _run_monitor(args: argparse.Namespace) -> int:
     from repro.monitoring import MonitoringSession
 
@@ -207,6 +303,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_single(args)
     if args.command == "show-hierarchy":
         return _show_hierarchy(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "monitor":
         return _run_monitor(args)
     return _run_figure(args.command, args)

@@ -110,6 +110,23 @@ class GossipParams:
     count-bearing aggregate (e.g. average), so this costs nothing; the
     paper's "knows ... when it first receives" first-wins rule is the
     ablation (``False``).
+    ``adaptive_deadlines`` — hardening extension (off = paper protocol):
+    when a phase times out with child values still missing *and* the
+    locally observed delivery rate indicates heavy loss, extend the phase
+    one round at a time instead of composing a partial aggregate, up to
+    ``ceil(adaptive_extension_factor * rounds_per_phase)`` extra rounds
+    per phase.  The member's final deadline slides by the rounds it
+    actually borrowed, so the total extension is bounded and the
+    O(log^2 N) round complexity is preserved up to a constant factor.
+    ``adaptive_extension_factor`` — per-phase extension budget as a
+    fraction of the nominal phase length.
+    ``final_retransmit`` — hardening extension (0 = paper protocol):
+    in the *final* phase, a member that is not an active representative
+    (``representative_fraction < 1``) still pushes its state to ``M``
+    fresh random peers at exponentially backed-off rounds (phase rounds
+    1, 2, 4, ...), at most ``final_retransmit`` times.  Protects the
+    scarce final-phase representative messages against loss without
+    reintroducing per-round traffic from every member.
     """
 
     fanout_m: int = 2
@@ -122,12 +139,38 @@ class GossipParams:
     prefer_coverage: bool = True
     push_pull: bool = False
     representative_fraction: float = 1.0
+    adaptive_deadlines: bool = False
+    adaptive_extension_factor: float = 0.5
+    final_retransmit: int = 0
 
     def __post_init__(self):
         if not 0.0 < self.representative_fraction <= 1.0:
             raise ValueError(
                 "representative_fraction must be in (0, 1]"
             )
+        if self.fanout_m < 1:
+            raise ValueError(
+                f"gossip fanout M must be >= 1, got {self.fanout_m}"
+            )
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1 when set, got {self.max_batch}"
+            )
+        if self.adaptive_extension_factor < 0.0:
+            raise ValueError(
+                f"adaptive_extension_factor must be >= 0, "
+                f"got {self.adaptive_extension_factor}"
+            )
+        if self.final_retransmit < 0:
+            raise ValueError(
+                f"final_retransmit must be >= 0, got {self.final_retransmit}"
+            )
+
+    def extension_budget(self, rounds_per_phase: int) -> int:
+        """Max extra rounds one phase may borrow under adaptive deadlines."""
+        if not self.adaptive_deadlines:
+            return 0
+        return math.ceil(self.adaptive_extension_factor * rounds_per_phase)
 
     def resolve_rounds(self, group_size: int) -> int:
         if self.rounds_per_phase is not None:
@@ -184,6 +227,20 @@ class HierarchicalGossipProcess(AggregationProcess):
         #: Cached per-process gossip stream (stable generator object from
         #: the run's RngRegistry; avoids a registry lookup every round).
         self._gossip_rng = None
+        # -- hardening state (all zero when the knobs are off) ----------
+        #: Messages admitted for the *current* phase (observed-delivery
+        #: signal for the adaptive deadline).
+        self._phase_received = 0
+        #: Extra rounds granted to the current phase so far.
+        self._phase_extension = 0
+        #: Total extra rounds borrowed across all phases; slides the
+        #: member's final deadline so late phases are not squeezed.
+        self._deadline_extension = 0
+        #: Final-phase retransmission checkpoints: phase rounds 1, 2, 4,
+        #: ... (exponential backoff), at most ``final_retransmit`` of them.
+        self._retransmit_rounds = frozenset(
+            2 ** j for j in range(params.final_retransmit)
+        )
 
     # -- structure helpers ------------------------------------------------
     @property
@@ -315,11 +372,11 @@ class HierarchicalGossipProcess(AggregationProcess):
             return
         if phase < self.phase:
             return  # stale: that phase is already composed here
-        bucket = (
-            self.known
-            if phase == self.phase
-            else self._future.setdefault(phase, {})
-        )
+        if phase == self.phase:
+            bucket = self.known
+            self._phase_received += 1
+        else:
+            bucket = self._future.setdefault(phase, {})
         for key, state in entries:
             self._accept(bucket, key, state)
 
@@ -340,9 +397,46 @@ class HierarchicalGossipProcess(AggregationProcess):
         members of a slow subtree share their slow phases).  The deadline
         equals the synchronous schedule's end, so time complexity is
         unchanged: O(log^2 N) rounds.
+
+        Under adaptive deadlines the member's deadline slides by the
+        rounds earlier phases actually borrowed, and the final phase may
+        itself borrow from its own bounded budget while values are still
+        missing — so the worst case grows by at most
+        ``extension_budget * num_phases`` rounds, a constant factor.
         """
         elapsed = ctx.round - self._start_round + 1
-        return elapsed >= self.num_phases * self.rounds_per_phase
+        deadline = (
+            self.num_phases * self.rounds_per_phase + self._deadline_extension
+        )
+        if elapsed < deadline:
+            return False
+        if self._maybe_extend():
+            return False
+        return True
+
+    def _maybe_extend(self) -> bool:
+        """Grant the current phase one more round, if hardening allows.
+
+        The extension triggers only when (a) adaptive deadlines are on,
+        (b) this phase still misses expected values — composing now would
+        lock in a partial aggregate — (c) the observed per-round delivery
+        rate is below half the fanout, the local evidence of heavy loss,
+        and (d) the phase's extension budget is not exhausted.
+        """
+        params = self.params
+        if not params.adaptive_deadlines:
+            return False
+        budget = params.extension_budget(self.rounds_per_phase)
+        if self._phase_extension >= budget:
+            return False
+        if self.known.keys() >= self._expected_keys(self.phase):
+            return False  # nothing missing: the timeout compose is exact
+        expected = params.fanout_m * max(1, self.phase_rounds)
+        if self._phase_received * 2 >= expected:
+            return False  # deliveries look healthy; missing peers are gone
+        self._phase_extension += 1
+        self._deadline_extension += 1
+        return True
 
     # -- protocol steps -------------------------------------------------------
     def _batch_entries(
@@ -383,9 +477,22 @@ class HierarchicalGossipProcess(AggregationProcess):
         draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
         return draw < fraction
 
+    def _retransmit_due(self) -> bool:
+        """Bounded final-phase retransmission with exponential backoff.
+
+        Only meaningful for members sidelined by ``representative_fraction``:
+        in the final phase they break silence at phase rounds 1, 2, 4, ...
+        (at most ``final_retransmit`` times) to re-offer their composed
+        child aggregates, protecting the scarce representative traffic
+        against loss at O(log N) extra messages per member.
+        """
+        if self.phase < self.num_phases:
+            return False
+        return self.phase_rounds in self._retransmit_rounds
+
     def _gossip(self, ctx: Context) -> None:
         """Steps I(a)/II(a): push one known value to ``M`` random peers."""
-        if not self._is_representative():
+        if not self._is_representative() and not self._retransmit_due():
             return
         pool, own_index = self._peers_for_phase(self.phase)
         pool_size = len(pool) - (1 if own_index is not None else 0)
@@ -454,7 +561,11 @@ class HierarchicalGossipProcess(AggregationProcess):
             and self._values_fully_cover()
         ):
             return True
-        return self.phase_rounds >= self.rounds_per_phase
+        if self.phase_rounds < self.rounds_per_phase + self._phase_extension:
+            return False
+        # Timeout hit: adaptive deadlines may grant bounded extra rounds
+        # instead of locking in a partial compose under heavy loss.
+        return not self._maybe_extend()
 
     def _maybe_advance(self, ctx: Context) -> None:
         """Step II(b): compose and bump up, cascading if buffers allow."""
@@ -465,8 +576,18 @@ class HierarchicalGossipProcess(AggregationProcess):
             )
             self.phase += 1
             self.phase_rounds = 0
+            self._phase_received = 0
+            self._phase_extension = 0
             if self.phase > self.num_phases:
+                # Graceful degradation: the estimate is reported together
+                # with the fraction of the group it demonstrably covers,
+                # so a timeout-truncated run under-counts *loudly* —
+                # consumers can weigh or reject partial aggregates instead
+                # of mistaking them for complete ones.
                 self.result = composed
+                self.coverage_fraction = composed.covers() / max(
+                    1, len(self.assignment.member_ids)
+                )
                 ctx.terminate()
                 return
             self.known = {completed_subtree: composed}
@@ -491,6 +612,13 @@ def build_hierarchical_gossip_group(
     """
     params = params or GossipParams()
     member_ids = tuple(votes)
+    if len(member_ids) > 1 and params.fanout_m > len(member_ids):
+        raise ValueError(
+            f"gossip fanout M={params.fanout_m} exceeds the group size "
+            f"({len(member_ids)} members); a member cannot contact more "
+            f"distinct gossipees than exist — lower fanout_m or grow the "
+            f"group"
+        )
     if view_of is None:
         view_of = lambda __: member_ids  # noqa: E731 - trivial default
     if start_round_of is None:

@@ -38,6 +38,24 @@ class AggregationProcess(Process):
         self.function = function
         #: Final global estimate; None until the protocol finishes here.
         self.result: AggregateState | None = None
+        #: Explicit coverage of :attr:`result`: the fraction of the group
+        #: the process *believes* its estimate covers, set by protocols
+        #: that support graceful degradation.  ``None`` means the
+        #: protocol did not self-assess (legacy behavior: the estimate is
+        #: silently partial); consumers fall back to
+        #: ``result.covers() / group_size``.
+        self.coverage_fraction: float | None = None
+
+    @property
+    def partial_result(self) -> bool | None:
+        """Whether the process knowingly finished with a partial estimate.
+
+        ``None`` until the protocol both finishes and self-assesses its
+        coverage (see :attr:`coverage_fraction`).
+        """
+        if self.result is None or self.coverage_fraction is None:
+            return None
+        return self.coverage_fraction < 1.0
 
     def own_state(self) -> AggregateState:
         """This member's vote as a single-member aggregate."""

@@ -37,6 +37,9 @@ class RunConfig:
     prefer_coverage: bool = True
     push_pull: bool = False
     representative_fraction: float = 1.0
+    #: Hardening knobs (see GossipParams; defaults = paper protocol).
+    adaptive_deadlines: bool = False
+    final_retransmit: int = 0
     committee_size: int = 1
     # Extensions (paper Sections 2 and 6.1 side claims):
     #: hierarchy sized by this estimate of N instead of the true N
@@ -51,6 +54,11 @@ class RunConfig:
     ucastl: float = 0.25
     pf: float = 0.001
     partl: float | None = None
+    #: Chaos campaign name (see repro.chaos.campaigns); when set, the
+    #: campaign compiles the network and failure models, layering its
+    #: correlated fault timeline over ``ucastl`` / ``pf`` as the
+    #: background independent rates.  ``partl`` is ignored.
+    campaign: str | None = None
     max_message_size: int = 1 << 20
     max_sends_per_round: int | None = None
     # Votes & measurement

@@ -1,0 +1,258 @@
+"""Robustness harness: sweep chaos campaigns against Theorem 1's bound.
+
+Theorem 1 (Section 5) promises completeness at least ``1 - 1/N`` when
+its assumptions hold: independent per-message loss and per-round
+crashes, grid boxes of ``K >= 2`` members, and an effective
+per-representative contact rate ``b >= 4`` (``b`` combines gossip
+fanout, loss and crash rates — see
+:func:`repro.analysis.epidemic.effective_contact_rate`).  The chaos
+campaigns in :mod:`repro.chaos` deliberately break those assumptions in
+named, reproducible ways.
+
+:func:`robustness_matrix` sweeps campaigns against a grid of ``(N, K,
+fanout)`` points, runs every cell over several seeds (in parallel via
+:mod:`repro.experiments.parallel` — results are bit-identical for any
+job count), and reports per cell:
+
+* whether the theorem's preconditions hold for that cell
+  (``bound_applies``: a paper-assumption campaign with ``K >= 2`` and
+  ``b >= 4``),
+* whether measured completeness meets the bound where it applies
+  (``bound_holds``), and
+* the quantified degradation (shortfall below the bound) everywhere
+  else.
+
+CLI: ``repro chaos`` (see ``repro chaos --help``).  Output contains no
+timestamps or timings, so a fixed seed reproduces it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.analysis.epidemic import effective_contact_rate
+from repro.chaos import campaign_names, get_campaign
+from repro.experiments.parallel import run_many
+from repro.experiments.params import RunConfig, with_params
+
+__all__ = [
+    "RobustnessCell",
+    "RobustnessReport",
+    "robustness_matrix",
+    "MIN_K",
+    "MIN_B",
+]
+
+#: Theorem 1 preconditions: grid boxes of at least MIN_K members and an
+#: effective contact rate of at least MIN_B.
+MIN_K = 2
+MIN_B = 4.0
+
+
+@dataclass(frozen=True)
+class RobustnessCell:
+    """Aggregated measurements for one (campaign, N, K, fanout) point."""
+
+    campaign: str
+    n: int
+    k: int
+    fanout_m: int
+    #: Effective contact rate b = M * (1 - ucastl) * (1 - pf).
+    b: float
+    runs: int
+    mean_completeness: float
+    min_completeness: float
+    mean_coverage: float
+    mean_crashes: float
+    mean_recoveries: float
+    #: Theorem 1's completeness floor, 1 - 1/N.
+    bound: float
+    #: True when this cell satisfies the theorem's preconditions (a
+    #: paper-assumption campaign with K >= MIN_K and b >= MIN_B).
+    bound_applies: bool
+
+    @property
+    def bound_holds(self) -> bool | None:
+        """Bound verdict; ``None`` when the preconditions don't apply."""
+        if not self.bound_applies:
+            return None
+        return self.mean_completeness >= self.bound
+
+    @property
+    def degradation(self) -> float:
+        """Shortfall below the Theorem 1 floor (0.0 when at or above)."""
+        return max(0.0, self.bound - self.mean_completeness)
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """The full campaign × parameter sweep, with bound verdicts."""
+
+    cells: tuple[RobustnessCell, ...]
+    seed: int
+    runs_per_cell: int
+
+    @property
+    def violations(self) -> tuple[RobustnessCell, ...]:
+        """Cells where the preconditions hold but the bound does not."""
+        return tuple(c for c in self.cells if c.bound_holds is False)
+
+    def assert_bound(self) -> None:
+        """Raise ``AssertionError`` if any applicable cell misses 1-1/N."""
+        if self.violations:
+            lines = [
+                f"  {c.campaign} N={c.n} K={c.k} M={c.fanout_m}: "
+                f"completeness {c.mean_completeness:.6f} < bound "
+                f"{c.bound:.6f}"
+                for c in self.violations
+            ]
+            raise AssertionError(
+                "Theorem 1 completeness bound violated where its "
+                "assumptions hold:\n" + "\n".join(lines)
+            )
+
+    def to_json(self) -> str:
+        """Deterministic JSON document (no timestamps)."""
+        document = {
+            "schema": "repro-robustness/1",
+            "seed": self.seed,
+            "runs_per_cell": self.runs_per_cell,
+            "min_k": MIN_K,
+            "min_b": MIN_B,
+            "violations": len(self.violations),
+            "cells": [
+                {
+                    **asdict(cell),
+                    "bound_holds": cell.bound_holds,
+                    "degradation": cell.degradation,
+                }
+                for cell in self.cells
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        header = (
+            "campaign,n,k,fanout_m,b,runs,mean_completeness,"
+            "min_completeness,mean_coverage,mean_crashes,mean_recoveries,"
+            "bound,bound_applies,bound_holds,degradation"
+        )
+        rows = [header]
+        for c in self.cells:
+            holds = "" if c.bound_holds is None else str(c.bound_holds)
+            rows.append(
+                f"{c.campaign},{c.n},{c.k},{c.fanout_m},{c.b:.6f},{c.runs},"
+                f"{c.mean_completeness:.6f},{c.min_completeness:.6f},"
+                f"{c.mean_coverage:.6f},{c.mean_crashes:.3f},"
+                f"{c.mean_recoveries:.3f},{c.bound:.6f},"
+                f"{c.bound_applies},{holds},{c.degradation:.6f}"
+            )
+        return "\n".join(rows) + "\n"
+
+    def render(self) -> str:
+        """Human-readable table, still byte-deterministic under a seed."""
+        lines = [
+            f"robustness sweep: {len(self.cells)} cells x "
+            f"{self.runs_per_cell} runs (seed {self.seed})",
+            f"{'campaign':<16} {'N':>5} {'K':>2} {'M':>2} {'b':>6} "
+            f"{'complete':>9} {'coverage':>9} {'crash':>6} {'bound':>8} "
+            f"{'verdict':>9}",
+        ]
+        for c in self.cells:
+            if c.bound_holds is None:
+                verdict = f"-{c.degradation:.4f}" if c.degradation else "n/a"
+            else:
+                verdict = "HOLDS" if c.bound_holds else "VIOLATED"
+            lines.append(
+                f"{c.campaign:<16} {c.n:>5} {c.k:>2} {c.fanout_m:>2} "
+                f"{c.b:>6.3f} {c.mean_completeness:>9.6f} "
+                f"{c.mean_coverage:>9.6f} {c.mean_crashes:>6.1f} "
+                f"{c.bound:>8.6f} {verdict:>9}"
+            )
+        applicable = [c for c in self.cells if c.bound_applies]
+        lines.append(
+            f"bound applies to {len(applicable)}/{len(self.cells)} cells; "
+            f"{len(self.violations)} violation(s)"
+        )
+        return "\n".join(lines)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def robustness_matrix(
+    campaigns: tuple[str, ...] | None = None,
+    ns: tuple[int, ...] = (64, 256),
+    ks: tuple[int, ...] = (4,),
+    fanouts: tuple[int, ...] = (6,),
+    runs: int = 3,
+    seed: int = 0,
+    ucastl: float = 0.25,
+    pf: float = 0.001,
+    adaptive_deadlines: bool = False,
+    final_retransmit: int = 0,
+    jobs: int | str | None = None,
+) -> RobustnessReport:
+    """Sweep campaigns × (N, K, fanout), averaging ``runs`` seeds per cell.
+
+    All runs across all cells are fanned out in one
+    :func:`~repro.experiments.parallel.run_many` call, so the harness
+    parallelizes across the whole matrix, not just within a cell, while
+    staying bit-identical to serial execution.
+    """
+    if campaigns is None:
+        campaigns = campaign_names()
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    grid: list[tuple[str, int, int, int]] = [
+        (name, n, k, fanout)
+        for name in campaigns
+        for n in ns
+        for k in ks
+        for fanout in fanouts
+    ]
+    configs: list[RunConfig] = []
+    for name, n, k, fanout in grid:
+        get_campaign(name)  # fail fast on unknown names
+        for run_index in range(runs):
+            configs.append(with_params(
+                n=n, k=k, fanout_m=fanout, campaign=name,
+                ucastl=ucastl, pf=pf,
+                adaptive_deadlines=adaptive_deadlines,
+                final_retransmit=final_retransmit,
+                seed=seed + run_index,
+            ))
+    results = run_many(configs, jobs=jobs)
+    cells = []
+    for index, (name, n, k, fanout) in enumerate(grid):
+        cell_results = results[index * runs:(index + 1) * runs]
+        b = effective_contact_rate(fanout, ucastl=ucastl, pf=pf)
+        campaign = get_campaign(name)
+        cells.append(RobustnessCell(
+            campaign=name,
+            n=n,
+            k=k,
+            fanout_m=fanout,
+            b=b,
+            runs=runs,
+            mean_completeness=_mean(
+                [r.completeness for r in cell_results]
+            ),
+            min_completeness=min(
+                r.report.min_completeness for r in cell_results
+            ),
+            mean_coverage=_mean([r.mean_coverage for r in cell_results]),
+            mean_crashes=_mean([float(r.crashes) for r in cell_results]),
+            mean_recoveries=_mean(
+                [float(r.recoveries) for r in cell_results]
+            ),
+            bound=1.0 - 1.0 / n,
+            bound_applies=(
+                campaign.paper_assumptions and k >= MIN_K and b >= MIN_B
+            ),
+        ))
+    return RobustnessReport(
+        cells=tuple(cells), seed=seed, runs_per_cell=runs
+    )

@@ -41,6 +41,10 @@ __all__ = ["RunResult", "run_once", "incompleteness_samples"]
 PROTOCOLS = ("hierarchical_gossip", "flood", "centralized",
              "leader_election", "flat_gossip")
 
+#: Extra rounds past the protocol's nominal budget before the engine
+#: gives up (protects against scheduling stragglers, not protocol time).
+_HORIZON_SLACK = 50
+
 
 @dataclass
 class RunResult:
@@ -63,6 +67,15 @@ class RunResult:
     #: rule), as are survivors that never finished.  ``nan`` when no
     #: member qualifies.
     mean_estimate_error: float
+    #: Crash recoveries observed during the run (0 without a recovering
+    #: failure model or churn campaign).
+    recoveries: int = 0
+    #: Mean self-assessed coverage fraction over the same member set as
+    #: ``mean_estimate_error`` (graceful-degradation signal: < 1.0 means
+    #: members knowingly finished with partial aggregates).  Falls back
+    #: to ``result.covers() / N`` for protocols that do not self-assess;
+    #: ``nan`` when no member qualifies.
+    mean_coverage: float = float("nan")
 
     @property
     def incompleteness(self) -> float:
@@ -131,7 +144,7 @@ def _build_processes(
 ) -> tuple[list[AggregationProcess], int]:
     """Instantiate the configured protocol; returns (processes, max_rounds)."""
     function = get_aggregate(config.aggregate)
-    slack = 50
+    slack = _HORIZON_SLACK
     if config.protocol in ("hierarchical_gossip", "leader_election"):
         hierarchy = GridBoxHierarchy(_hierarchy_size(config), config.k)
         assignment = GridAssignment(
@@ -148,6 +161,8 @@ def _build_processes(
             prefer_coverage=config.prefer_coverage,
             push_pull=config.push_pull,
             representative_fraction=config.representative_fraction,
+            adaptive_deadlines=config.adaptive_deadlines,
+            final_retransmit=config.final_retransmit,
         )
         view_of = None
         if config.view_size is not None:
@@ -167,7 +182,11 @@ def _build_processes(
             view_of=view_of, start_round_of=start_round_of,
         )
         rpp, phases = _gossip_round_budget(config)
-        return processes, rpp * phases + config.start_spread + slack
+        # Adaptive deadlines may lawfully borrow up to the per-phase
+        # extension budget in every phase; give the engine that room.
+        extension = params.extension_budget(rpp) * phases
+        return (processes,
+                rpp * phases + config.start_spread + extension + slack)
     if config.protocol == "flood":
         processes = build_flood_group(votes, function, fanout=config.fanout_m)
         return processes, math.ceil(config.n / config.fanout_m) + slack
@@ -197,6 +216,35 @@ def _build_processes(
     )
 
 
+def _box_groups(
+    config: RunConfig, votes: dict[int, float], processes
+) -> list[tuple[int, ...]]:
+    """Member ids partitioned by grid box, for rack-correlated faults.
+
+    Uses the protocol's real :class:`GridAssignment` when the built
+    processes carry one; protocols without a hierarchy (flood,
+    centralized) fall back to contiguous chunks of ``k`` ids — the same
+    *shape* of correlation, without pretending a hierarchy exists.
+    """
+    assignment = getattr(processes[0], "assignment", None)
+    if isinstance(assignment, GridAssignment):
+        boxes: dict[int, list[int]] = {}
+        for member in assignment.member_ids:
+            boxes.setdefault(assignment.box_of(member), []).append(member)
+        return [tuple(boxes[box]) for box in sorted(boxes)]
+    ids = sorted(votes)
+    k = max(1, config.k)
+    return [tuple(ids[i:i + k]) for i in range(0, len(ids), k)]
+
+
+def _campaign_horizon(config: RunConfig, max_rounds: int) -> int:
+    """The nominal protocol window campaign timeline fractions map onto."""
+    if config.protocol in ("hierarchical_gossip", "flat_gossip"):
+        rpp, phases = _gossip_round_budget(config)
+        return rpp * phases
+    return max(1, max_rounds - _HORIZON_SLACK)
+
+
 def run_once(config: RunConfig) -> RunResult:
     """Build the configured world, run it to completion, measure it."""
     rngs = RngRegistry(seed=config.seed)
@@ -204,24 +252,49 @@ def run_once(config: RunConfig) -> RunResult:
     function = get_aggregate(config.aggregate)
     true_value = function.finalize(function.over(votes))
     processes, max_rounds = _build_processes(config, votes, rngs)
-    network = _make_network(config)
+    compiled = None
+    if config.campaign is not None:
+        from repro.chaos import get_campaign
+
+        compiled = get_campaign(config.campaign).compile(
+            horizon=_campaign_horizon(config, max_rounds),
+            base_loss=config.ucastl,
+            base_pf=config.pf,
+            box_groups=_box_groups(config, votes, processes),
+            max_message_size=config.max_message_size,
+            max_sends_per_round=config.max_sends_per_round,
+        )
+        network = compiled.network
+        failure_model = compiled.failure_model
+    else:
+        network = _make_network(config)
+        failure_model = _make_failures(config)
     engine = SimulationEngine(
         network=network,
-        failure_model=_make_failures(config),
+        failure_model=failure_model,
         rngs=rngs,
         max_rounds=max_rounds,
     )
     engine.add_processes(processes)
+    if compiled is not None:
+        compiled.install(engine)
     engine.run()
     report = measure_completeness(processes, group_size=config.n)
     # Error is averaged over report.per_member's member set so the two
     # survivor-relative metrics can never drift apart (see RunResult).
     measured = report.per_member.keys()
-    errors = [
-        abs(process.function.finalize(process.result) - true_value)
-        for process in processes
-        if process.node_id in measured
-    ]
+    errors = []
+    coverages = []
+    for process in processes:
+        if process.node_id not in measured:
+            continue
+        errors.append(
+            abs(process.function.finalize(process.result) - true_value)
+        )
+        coverage = getattr(process, "coverage_fraction", None)
+        if coverage is None:
+            coverage = process.result.covers() / config.n
+        coverages.append(coverage)
     return RunResult(
         config=config,
         report=report,
@@ -232,6 +305,9 @@ def run_once(config: RunConfig) -> RunResult:
         crashes=engine.stats.crashes,
         true_value=true_value,
         mean_estimate_error=(sum(errors) / len(errors)) if errors else
+        float("nan"),
+        recoveries=engine.stats.recoveries,
+        mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
     )
 

@@ -6,7 +6,9 @@ round-based discrete-event world that the protocols in
 """
 
 from repro.sim.engine import Context, EngineStats, Process, SimulationEngine
+from repro.sim.events import RoundBus
 from repro.sim.failures import (
+    ComposedFailures,
     CrashRecovery,
     CrashWithoutRecovery,
     FailureModel,
@@ -33,11 +35,13 @@ __all__ = [
     "EngineStats",
     "Process",
     "SimulationEngine",
+    "RoundBus",
     "FailureModel",
     "NoFailures",
     "CrashWithoutRecovery",
     "CrashRecovery",
     "ScheduledFailures",
+    "ComposedFailures",
     "GroupMembership",
     "CompleteViews",
     "PartialViews",

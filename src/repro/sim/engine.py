@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.sim.events import RoundBus
 from repro.sim.failures import FailureModel, NoFailures
 from repro.sim.network import Message, Network
 from repro.sim.rng import RngRegistry
@@ -155,6 +156,7 @@ class SimulationEngine:
         tracer: Tracer | None = None,
         metrics: RoundMetrics | None = None,
         fifo_fast_path: bool = True,
+        round_bus: RoundBus | None = None,
     ):
         self.network = network
         self.failure_model = failure_model or NoFailures()
@@ -162,6 +164,14 @@ class SimulationEngine:
         self.max_rounds = max_rounds
         self.tracer = tracer
         self.metrics = metrics
+        #: Begin-round event bus.  The network's per-round reset is the
+        #: first subscriber; chaos campaign controllers (and any other
+        #: round-boundary probe) subscribe after it and therefore run
+        #: after it, in a fixed, reproducible order.
+        # `is not None`, not `or`: an empty RoundBus has len() 0 and
+        # would be falsy, silently replacing a caller-provided bus.
+        self.round_bus = round_bus if round_bus is not None else RoundBus()
+        self.round_bus.subscribe(network.begin_round)
         self.round = 0
         self.processes: dict[int, Process] = {}
         self.stats = EngineStats()
@@ -316,7 +326,7 @@ class SimulationEngine:
                 callback()
             self._apply_failures()
             self._deliver_due()
-            self.network.begin_round(self.round)
+            self.round_bus.emit(self.round)
             for process in list(self.processes.values()):
                 if process.alive and not process.terminated:
                     self._ctx.current = process

@@ -1,0 +1,48 @@
+"""Deterministic begin-round event bus.
+
+The engine owns one :class:`RoundBus` and emits it exactly once per round,
+at the point where per-round state resets happen (after this round's
+deliveries, before any process sends).  Subscribers run in subscription
+order, so a run is reproducible however many listeners are attached: the
+network's bandwidth-accounting reset is always the first subscriber, and
+anything registered afterwards (chaos campaign controllers, probes) sees
+the same round numbers in the same order on every run.
+
+This is the hook point the chaos subsystem compiles to: a campaign
+controller subscribes once and mutates loss / latency / partition state
+at exact round boundaries, keeping fault timelines deterministic under a
+fixed seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["RoundBus"]
+
+
+class RoundBus:
+    """Ordered fan-out of the engine's begin-round event."""
+
+    def __init__(self):
+        self._subscribers: list[Callable[[int], None]] = []
+
+    def subscribe(self, callback: Callable[[int], None]) -> Callable[[int], None]:
+        """Register ``callback(round_number)``; returns it for chaining."""
+        if not callable(callback):
+            raise TypeError(f"round-bus subscriber must be callable, got "
+                            f"{callback!r}")
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[int], None]) -> None:
+        """Remove a previously subscribed callback (ValueError if absent)."""
+        self._subscribers.remove(callback)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def emit(self, round_number: int) -> None:
+        """Invoke every subscriber, in subscription order."""
+        for callback in tuple(self._subscribers):
+            callback(round_number)

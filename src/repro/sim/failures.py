@@ -21,6 +21,7 @@ __all__ = [
     "CrashWithoutRecovery",
     "CrashRecovery",
     "ScheduledFailures",
+    "ComposedFailures",
 ]
 
 
@@ -93,16 +94,39 @@ class ScheduledFailures(FailureModel):
     """Deterministic crash/recovery schedule, for targeted fault tests.
 
     ``crash_at`` / ``recover_at`` map a round number to the node ids that
-    crash / recover at the start of that round.
+    crash / recover at the start of that round.  When ``member_ids`` is
+    given, every scheduled id must belong to it — a schedule naming an
+    unknown node is a configuration bug and would otherwise only surface
+    as a ``KeyError`` deep inside the engine when the round arrives.
     """
 
     def __init__(
         self,
         crash_at: Mapping[int, Iterable[int]] | None = None,
         recover_at: Mapping[int, Iterable[int]] | None = None,
+        member_ids: Iterable[int] | None = None,
     ):
         self.crash_at = {r: set(ids) for r, ids in (crash_at or {}).items()}
         self.recover_at = {r: set(ids) for r, ids in (recover_at or {}).items()}
+        for label, schedule in (("crash_at", self.crash_at),
+                                ("recover_at", self.recover_at)):
+            for round_number in schedule:
+                if round_number < 0:
+                    raise ValueError(
+                        f"{label} round numbers must be >= 0, "
+                        f"got {round_number}"
+                    )
+        if member_ids is not None:
+            known = set(member_ids)
+            scheduled = set().union(*self.crash_at.values(), set()) | (
+                set().union(*self.recover_at.values(), set())
+            )
+            unknown = scheduled - known
+            if unknown:
+                raise ValueError(
+                    f"schedule references unknown node ids "
+                    f"{sorted(unknown)}; known members: {len(known)}"
+                )
         self.may_recover = any(self.recover_at.values())
 
     def step(self, round_number, alive_ids, crashed_ids, rng):
@@ -110,3 +134,33 @@ class ScheduledFailures(FailureModel):
             set(self.crash_at.get(round_number, ())),
             set(self.recover_at.get(round_number, ())),
         )
+
+
+class ComposedFailures(FailureModel):
+    """Union of several failure models stepped together.
+
+    The chaos campaign compiler uses this to layer correlated fault
+    events (storms, rack failures, churn) on top of the paper's
+    independent per-round crash process.  Sub-models are stepped in the
+    order given, against the same ``(alive, crashed)`` snapshot, and
+    their crash / recovery sets are unioned; a node both crashed and
+    recovered in the same round crashes first and recovers immediately
+    (the engine applies crashes before recoveries).
+    """
+
+    def __init__(self, *models: FailureModel):
+        if not models:
+            raise ValueError("ComposedFailures needs at least one model")
+        self.models = tuple(models)
+        self.may_recover = any(model.may_recover for model in self.models)
+
+    def step(self, round_number, alive_ids, crashed_ids, rng):
+        to_crash: set[int] = set()
+        to_recover: set[int] = set()
+        for model in self.models:
+            crashed, recovered = model.step(
+                round_number, alive_ids, crashed_ids, rng
+            )
+            to_crash |= crashed
+            to_recover |= recovered
+        return to_crash, to_recover

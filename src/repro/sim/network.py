@@ -232,12 +232,19 @@ class JitterNetwork(LossyNetwork):
 
 
 class PartitionedNetwork(LossyNetwork):
-    """Two-sided soft partition (Figure 9).
+    """Two-sided soft partition (Figure 9), optionally healing mid-run.
 
     ``partition_of`` maps a node id to its partition label.  Messages whose
     endpoints share a label are dropped with ``ucastl``; messages crossing
     the partition are dropped with ``partl`` (>= ucastl in the paper's
     experiment).
+
+    ``heal_at`` heals the partition at the start of round ``heal_at``'s
+    send window: messages submitted from that round on are all dropped
+    with the background ``ucastl``, whatever their endpoints.  ``None``
+    (the default, the paper's Figure 9 setting) keeps the partition up
+    for the whole run.  Drops caused by the partition are counted in
+    ``stats.dropped_cross_partition``.
     """
 
     def __init__(
@@ -245,19 +252,37 @@ class PartitionedNetwork(LossyNetwork):
         partition_of: Callable[[int], int] | Mapping[int, int],
         partl: float = 0.5,
         ucastl: float = 0.25,
+        heal_at: int | None = None,
         **kwargs,
     ):
         if not 0.0 <= partl <= 1.0:
             raise ValueError(f"partl must be a probability, got {partl}")
+        if heal_at is not None and heal_at < 0:
+            raise ValueError(f"heal_at must be a round number >= 0, "
+                             f"got {heal_at}")
         super().__init__(ucastl=ucastl, **kwargs)
         self.partl = partl
+        self.heal_at = heal_at
+        self._healed = False
         if callable(partition_of):
             self._partition_of = partition_of
         else:
             mapping = dict(partition_of)
             self._partition_of = mapping.__getitem__
 
+    @property
+    def healed(self) -> bool:
+        """Whether the partition has healed (always False without heal_at)."""
+        return self._healed
+
+    def begin_round(self, round_number: int) -> None:
+        super().begin_round(round_number)
+        if self.heal_at is not None and round_number >= self.heal_at:
+            self._healed = True
+
     def crosses_partition(self, message: Message) -> bool:
+        if self._healed:
+            return False
         return self._partition_of(message.src) != self._partition_of(message.dest)
 
     def loss_probability(self, message: Message) -> float:

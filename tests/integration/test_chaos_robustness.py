@@ -1,0 +1,143 @@
+"""Integration tests: chaos campaigns end-to-end, the robustness
+harness, its determinism guarantee and the ``repro chaos`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.chaos import campaign_names
+from repro.cli import main
+from repro.experiments.params import with_params
+from repro.experiments.robustness import robustness_matrix
+from repro.experiments.runner import run_once
+
+
+class TestCampaignRuns:
+    @pytest.mark.parametrize("name", campaign_names())
+    def test_every_campaign_completes(self, name):
+        result = run_once(with_params(n=32, campaign=name, seed=1))
+        assert result.rounds > 0
+        assert 0.0 <= result.completeness <= 1.0
+
+    def test_campaign_runs_are_deterministic(self):
+        config = with_params(n=48, campaign="rack-failure", seed=9)
+        first, second = run_once(config), run_once(config)
+        assert first.completeness == second.completeness
+        assert first.messages_sent == second.messages_sent
+        assert first.crashes == second.crashes
+        assert first.recoveries == second.recoveries
+
+    def test_unknown_campaign_raises(self):
+        with pytest.raises(ValueError, match="unknown campaign"):
+            run_once(with_params(n=16, campaign="nope"))
+
+    def test_churn_campaign_recovers_members(self):
+        result = run_once(with_params(n=128, campaign="churn", seed=3))
+        assert result.recoveries > 0
+
+    def test_campaign_on_baseline_protocol(self):
+        # Campaigns compile for protocols without a grid hierarchy too
+        # (box groups fall back to contiguous chunks).
+        result = run_once(with_params(
+            n=32, campaign="rack-failure", protocol="flood", seed=2,
+        ))
+        assert result.crashes > 0
+
+
+class TestRobustnessMatrix:
+    def _report(self, **kwargs):
+        defaults = dict(
+            campaigns=("paper-iid", "crash-storm"),
+            ns=(32,), ks=(4,), fanouts=(6,), runs=2, seed=0,
+        )
+        defaults.update(kwargs)
+        return robustness_matrix(**defaults)
+
+    def test_grid_shape_and_order(self):
+        report = self._report()
+        assert [c.campaign for c in report.cells] == [
+            "paper-iid", "crash-storm"
+        ]
+        assert all(c.runs == 2 for c in report.cells)
+
+    def test_bound_applies_only_under_assumptions(self):
+        report = self._report()
+        by_name = {c.campaign: c for c in report.cells}
+        assert by_name["paper-iid"].bound_applies
+        assert not by_name["crash-storm"].bound_applies
+        assert by_name["crash-storm"].bound_holds is None
+
+    def test_bound_holds_on_paper_assumptions(self):
+        report = self._report()
+        report.assert_bound()  # must not raise
+        cell = next(c for c in report.cells if c.bound_applies)
+        assert cell.mean_completeness >= cell.bound == 1 - 1 / 32
+
+    def test_low_fanout_exempts_the_bound(self):
+        # b = 2 * 0.75 * 0.999 < 4: Theorem 1's premise fails, so even
+        # the paper-iid campaign must not be asserted against the bound.
+        report = self._report(fanouts=(2,))
+        assert all(not c.bound_applies for c in report.cells)
+
+    def test_parallel_equals_serial(self):
+        serial = self._report(jobs=1)
+        parallel = self._report(jobs=4)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_json_round_trips(self):
+        report = self._report()
+        document = json.loads(report.to_json())
+        assert document["schema"] == "repro-robustness/1"
+        assert len(document["cells"]) == 2
+        assert document["violations"] == 0
+
+    def test_csv_has_header_and_rows(self):
+        report = self._report()
+        lines = report.to_csv().strip().splitlines()
+        assert lines[0].startswith("campaign,n,k,")
+        assert len(lines) == 3
+
+    def test_render_is_deterministic(self):
+        assert self._report().render() == self._report().render()
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            self._report(runs=0)
+
+
+class TestChaosCli:
+    def test_list_campaigns(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in campaign_names():
+            assert name in out
+
+    def test_single_campaign_sweep(self, capsys):
+        assert main([
+            "chaos", "--campaign", "paper-iid", "--n", "32",
+            "--runs", "2", "--seed", "0", "--assert-bound",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "0 violation(s)" in out
+
+    def test_cli_output_deterministic_across_jobs(self, capsys):
+        argv = ["chaos", "--campaign", "crash-storm", "--n", "32",
+                "--runs", "2", "--seed", "0"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--jobs", "4"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_json_and_csv_written(self, tmp_path, capsys):
+        json_path = tmp_path / "report.json"
+        csv_path = tmp_path / "report.csv"
+        assert main([
+            "chaos", "--campaign", "loss-burst", "--n", "32",
+            "--runs", "1", "--json", str(json_path),
+            "--csv", str(csv_path),
+        ]) == 0
+        document = json.loads(json_path.read_text())
+        assert document["schema"] == "repro-robustness/1"
+        assert csv_path.read_text().startswith("campaign,")

@@ -1,0 +1,286 @@
+"""Unit tests for the chaos campaign subsystem (events, compiler, models)."""
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CAMPAIGNS,
+    CampaignFailureModel,
+    ChaosCampaign,
+    ChaosNetwork,
+    ChurnWindow,
+    CorrelatedCrash,
+    CrashStorm,
+    LatencyBurst,
+    LossBurst,
+    PartitionWindow,
+    campaign_names,
+    get_campaign,
+)
+from repro.sim.network import Message
+from repro.sim.rng import RngRegistry
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestEventValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CrashStorm(at=1.5, fraction=0.1)
+        with pytest.raises(ValueError):
+            CrashStorm(at=0.5, fraction=-0.1)
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError):
+            LossBurst(start=0.6, stop=0.4, loss=0.5)
+        with pytest.raises(ValueError):
+            PartitionWindow(start=0.5, stop=0.5)
+
+    def test_recover_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            CorrelatedCrash(at=0.5, boxes=0.1, recover_at=0.3)
+        CorrelatedCrash(at=0.3, boxes=0.1, recover_at=0.5)  # fine
+
+    def test_churn_delay_validated(self):
+        with pytest.raises(ValueError):
+            ChurnWindow(start=0.1, stop=0.5, crash_rate=0.01,
+                        recovery_delay=(0, 4))
+        with pytest.raises(ValueError):
+            ChurnWindow(start=0.1, stop=0.5, crash_rate=0.01,
+                        recovery_delay=(5, 4))
+
+    def test_latency_burst_needs_delay(self):
+        with pytest.raises(ValueError):
+            LatencyBurst(start=0.1, stop=0.5, extra_rounds=0)
+
+    def test_partition_parts_validated(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(start=0.1, stop=0.5, parts=1)
+
+
+class TestCampaignDefinition:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            ChaosCampaign(name="", description="x")
+
+    def test_events_must_be_fault_events(self):
+        with pytest.raises(TypeError):
+            ChaosCampaign(name="bad", description="x",
+                          events=("not-an-event",))
+
+    def test_paper_assumptions_forbids_events(self):
+        with pytest.raises(ValueError):
+            ChaosCampaign(
+                name="cheat", description="x", paper_assumptions=True,
+                events=(CrashStorm(at=0.5, fraction=0.1),),
+            )
+
+
+class TestRegistry:
+    def test_names_match_registry_keys(self):
+        assert list(campaign_names()) == list(CAMPAIGNS)
+        for name, campaign in CAMPAIGNS.items():
+            assert campaign.name == name
+
+    def test_exactly_one_paper_assumption_campaign(self):
+        flagged = [c for c in CAMPAIGNS.values() if c.paper_assumptions]
+        assert [c.name for c in flagged] == ["paper-iid"]
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="crash-storm"):
+            get_campaign("no-such-campaign")
+
+
+class TestCompile:
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError):
+            get_campaign("paper-iid").compile(horizon=0)
+
+    def test_fractions_resolve_to_rounds(self):
+        campaign = ChaosCampaign(
+            name="t", description="x",
+            events=(CrashStorm(at=0.5, fraction=0.2),
+                    LossBurst(start=0.25, stop=0.75, loss=0.6)),
+        )
+        compiled = campaign.compile(horizon=20, base_pf=0.0)
+        assert compiled.failure_model.storms == ((10, 0.2),)
+        assert compiled.controller.loss_windows == ((5, 15, 0.6),)
+
+    def test_degenerate_window_spans_one_round(self):
+        campaign = ChaosCampaign(
+            name="t", description="x",
+            events=(LossBurst(start=0.5, stop=0.55, loss=0.9),),
+        )
+        compiled = campaign.compile(horizon=4, base_pf=0.0)
+        ((start, stop, __),) = compiled.controller.loss_windows
+        assert stop == start + 1
+
+    def test_rack_wipe_requires_box_groups(self):
+        campaign = ChaosCampaign(
+            name="t", description="x",
+            events=(CorrelatedCrash(at=0.5, boxes=0.2),),
+        )
+        with pytest.raises(ValueError, match="box_groups"):
+            campaign.compile(horizon=20, base_pf=0.0)
+        campaign.compile(horizon=20, base_pf=0.0,
+                         box_groups=[(0, 1), (2, 3)])
+
+    def test_network_kwargs_forwarded(self):
+        compiled = get_campaign("paper-iid").compile(
+            horizon=10, max_message_size=123
+        )
+        assert compiled.network.max_message_size == 123
+
+
+class TestChaosNetwork:
+    def _message(self, src=0, dest=1):
+        return Message(src=src, dest=dest, payload="x", sent_round=0)
+
+    def test_base_loss_validated(self):
+        with pytest.raises(ValueError):
+            ChaosNetwork(base_loss=1.5)
+
+    def test_heap_scheduling_forced(self):
+        assert ChaosNetwork(base_loss=0.0).fixed_latency is None
+
+    def test_loss_tracks_current_state(self):
+        network = ChaosNetwork(base_loss=0.1)
+        assert network.loss_probability(self._message()) == 0.1
+        network.current_loss = 0.7
+        assert network.loss_probability(self._message()) == 0.7
+
+    def test_partition_raises_cross_side_loss(self):
+        network = ChaosNetwork(base_loss=0.1)
+        network.partition = (2, 0.9)
+        crossing = self._message(src=0, dest=1)    # 0 % 2 != 1 % 2
+        same_side = self._message(src=0, dest=2)
+        assert network.loss_probability(crossing) == 0.9
+        assert network.loss_probability(same_side) == 0.1
+
+    def test_latency_adds_current_extra(self):
+        network = ChaosNetwork(base_loss=0.0)
+        rngs = RngRegistry(0)
+        assert network.plan_delivery(self._message(), rngs) == 1
+        network.current_extra_latency = 3
+        assert network.plan_delivery(self._message(), rngs) == 4
+
+    def test_partition_boundary_drops_counted(self):
+        network = ChaosNetwork(base_loss=0.0)
+        network.partition = (2, 1.0)
+        rngs = RngRegistry(0)
+        assert network.plan_delivery(self._message(0, 1), rngs) is None
+        assert network.stats.dropped_cross_partition == 1
+
+
+class TestController:
+    def _compiled(self, events, horizon=10):
+        campaign = ChaosCampaign(name="t", description="x",
+                                 events=tuple(events))
+        return campaign.compile(horizon=horizon, base_loss=0.1, base_pf=0.0)
+
+    def test_state_recomputed_each_round(self):
+        compiled = self._compiled(
+            [LossBurst(start=0.2, stop=0.6, loss=0.8)]
+        )
+        controller, network = compiled.controller, compiled.network
+        controller.on_begin_round(0)
+        assert network.current_loss == 0.1
+        controller.on_begin_round(3)
+        assert network.current_loss == 0.8
+        controller.on_begin_round(7)
+        assert network.current_loss == 0.1
+
+    def test_overlapping_bursts_take_max(self):
+        compiled = self._compiled([
+            LossBurst(start=0.0, stop=1.0, loss=0.4),
+            LossBurst(start=0.2, stop=0.6, loss=0.7),
+        ])
+        compiled.controller.on_begin_round(3)
+        assert compiled.network.current_loss == 0.7
+
+    def test_partition_window_sets_and_clears(self):
+        compiled = self._compiled(
+            [PartitionWindow(start=0.2, stop=0.6, partl=0.9, parts=2)]
+        )
+        controller, network = compiled.controller, compiled.network
+        controller.on_begin_round(3)
+        assert network.partition == (2, 0.9)
+        controller.on_begin_round(6)
+        assert network.partition is None
+
+    def test_degraded_rounds_counted(self):
+        compiled = self._compiled(
+            [LatencyBurst(start=0.0, stop=0.5, extra_rounds=2)]
+        )
+        for round_number in range(10):
+            compiled.controller.on_begin_round(round_number)
+        assert compiled.controller.degraded_rounds == 5
+
+
+class TestCampaignFailureModel:
+    def test_storm_crashes_requested_fraction(self):
+        model = CampaignFailureModel(storms=[(5, 0.25)])
+        alive = list(range(100))
+        assert model.step(4, alive, [], _rng()) == (set(), set())
+        crash, __ = model.step(5, alive, [], _rng())
+        assert len(crash) == 25
+        assert crash <= set(alive)
+
+    def test_storm_is_deterministic_under_seed(self):
+        model_a = CampaignFailureModel(storms=[(5, 0.3)])
+        model_b = CampaignFailureModel(storms=[(5, 0.3)])
+        alive = list(range(64))
+        crash_a, __ = model_a.step(5, alive, [], _rng(7))
+        crash_b, __ = model_b.step(5, alive, [], _rng(7))
+        assert crash_a == crash_b
+
+    def test_rack_wipe_takes_whole_boxes(self):
+        groups = [(0, 1), (2, 3), (4, 5), (6, 7)]
+        model = CampaignFailureModel(
+            rack_wipes=[(3, 0.5, None)], box_groups=groups
+        )
+        crash, __ = model.step(3, list(range(8)), [], _rng())
+        assert len(crash) == 4
+        for group in groups:
+            assert crash >= set(group) or not (crash & set(group))
+
+    def test_rack_wipe_group_recovery(self):
+        model = CampaignFailureModel(
+            rack_wipes=[(2, 0.5, 6)], box_groups=[(0, 1), (2, 3)]
+        )
+        assert model.may_recover
+        crash, __ = model.step(2, [0, 1, 2, 3], [], _rng())
+        __, recovered = model.step(6, [], sorted(crash), _rng())
+        assert recovered == crash
+
+    def test_churn_recovers_after_delay(self):
+        model = CampaignFailureModel(
+            churn_windows=[(0, 5, 1.0, 2, 2)]  # everyone, fixed delay 2
+        )
+        crash, __ = model.step(0, [0, 1], [], _rng())
+        assert crash == {0, 1}
+        assert model.step(1, [], [0, 1], _rng())[1] == set()
+        assert model.step(2, [], [0, 1], _rng())[1] == {0, 1}
+
+    def test_base_pf_layered_in(self):
+        model = CampaignFailureModel(base_pf=1.0)
+        crash, __ = model.step(0, [1, 2, 3], [], _rng())
+        assert crash == {1, 2, 3}
+
+    def test_no_recovery_without_recovering_events(self):
+        assert not CampaignFailureModel(storms=[(1, 0.5)]).may_recover
+
+
+class TestInstallGuards:
+    def test_install_rejects_foreign_engine(self):
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.network import LossyNetwork
+
+        compiled = get_campaign("loss-burst").compile(horizon=10)
+        engine = SimulationEngine(
+            network=LossyNetwork(), rngs=RngRegistry(0), max_rounds=5
+        )
+        with pytest.raises(ValueError, match="network"):
+            compiled.install(engine)

@@ -23,6 +23,8 @@ MIRRORED_FIELDS = {
     "prefer_coverage",
     "push_pull",
     "representative_fraction",
+    "adaptive_deadlines",
+    "final_retransmit",
 }
 
 
@@ -52,6 +54,8 @@ class TestRunnerForwarding:
             "prefer_coverage": False,
             "push_pull": True,
             "representative_fraction": 0.5,
+            "adaptive_deadlines": True,
+            "final_retransmit": 2,
         }
         config = with_params(n=16, **overrides)
         votes = {i: 1.0 for i in range(16)}

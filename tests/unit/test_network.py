@@ -133,6 +133,55 @@ class TestPartitionedNetwork:
         assert 0.56 < drops / 10_000 < 0.64
 
 
+class TestPartitionHealing:
+    def _network(self, heal_at):
+        return PartitionedNetwork(
+            partition_of=lambda node: 0 if node < 10 else 1,
+            partl=1.0,
+            ucastl=0.0,
+            heal_at=heal_at,
+        )
+
+    def test_heal_at_validated(self):
+        with pytest.raises(ValueError):
+            self._network(heal_at=-1)
+
+    def test_never_heals_by_default(self):
+        network = self._network(heal_at=None)
+        rngs = RngRegistry(0)
+        for round_number in range(100):
+            network.begin_round(round_number)
+        assert not network.healed
+        assert _send(network, rngs, src=0, dest=11) is None
+
+    def test_partition_drops_until_heal_round(self):
+        network = self._network(heal_at=5)
+        rngs = RngRegistry(0)
+        network.begin_round(4)
+        assert not network.healed
+        assert _send(network, rngs, src=0, dest=11, sent_round=4) is None
+        network.begin_round(5)
+        assert network.healed
+        assert _send(network, rngs, src=0, dest=11, sent_round=5) == 6
+
+    def test_heal_is_permanent(self):
+        network = self._network(heal_at=3)
+        rngs = RngRegistry(0)
+        for round_number in range(6):
+            network.begin_round(round_number)
+        assert _send(network, rngs, src=0, dest=11, sent_round=5) == 6
+
+    def test_boundary_drop_counter_stops_at_heal(self):
+        network = self._network(heal_at=2)
+        rngs = RngRegistry(0)
+        network.begin_round(0)
+        assert _send(network, rngs, src=0, dest=11, sent_round=0) is None
+        assert network.stats.dropped_cross_partition == 1
+        network.begin_round(2)
+        _send(network, rngs, src=0, dest=11, sent_round=2)
+        assert network.stats.dropped_cross_partition == 1
+
+
 class TestTopologyNetwork:
     def _hops(self, src, dest):
         table = {(0, 1): 1, (0, 2): 3, (0, 9): None}

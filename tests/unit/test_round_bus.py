@@ -1,0 +1,79 @@
+"""Unit tests for the engine's deterministic begin-round event bus."""
+
+import pytest
+
+from repro.sim.engine import Process, SimulationEngine
+from repro.sim.events import RoundBus
+from repro.sim.failures import NoFailures
+from repro.sim.network import LossyNetwork
+from repro.sim.rng import RngRegistry
+
+
+class TestRoundBus:
+    def test_emit_preserves_subscription_order(self):
+        bus = RoundBus()
+        calls = []
+        bus.subscribe(lambda r: calls.append(("a", r)))
+        bus.subscribe(lambda r: calls.append(("b", r)))
+        bus.emit(3)
+        bus.emit(4)
+        assert calls == [("a", 3), ("b", 3), ("a", 4), ("b", 4)]
+
+    def test_subscribe_returns_callback(self):
+        bus = RoundBus()
+        marker = bus.subscribe(lambda r: None)
+        assert len(bus) == 1
+        bus.unsubscribe(marker)
+        assert len(bus) == 0
+
+    def test_unsubscribed_absent_raises(self):
+        with pytest.raises(ValueError):
+            RoundBus().unsubscribe(lambda r: None)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            RoundBus().subscribe("not-a-callback")
+
+
+class _Counter(Process):
+    """Terminates after three rounds."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.rounds_seen = 0
+
+    def on_round(self, ctx):
+        self.rounds_seen += 1
+        if self.rounds_seen >= 3:
+            ctx.terminate()
+
+
+class TestEngineIntegration:
+    def _engine(self, bus=None):
+        engine = SimulationEngine(
+            network=LossyNetwork(ucastl=0.0),
+            failure_model=NoFailures(),
+            rngs=RngRegistry(0),
+            max_rounds=10,
+            round_bus=bus,
+        )
+        engine.add_processes([_Counter(0)])
+        return engine
+
+    def test_network_reset_is_first_subscriber(self):
+        engine = self._engine()
+        assert len(engine.round_bus) == 1
+
+    def test_bus_emits_every_round_in_order(self):
+        bus = RoundBus()
+        seen = []
+        engine = self._engine(bus)
+        bus.subscribe(seen.append)
+        engine.run()
+        assert seen == sorted(seen)
+        assert len(seen) == engine.stats.rounds_executed
+
+    def test_external_bus_instance_is_used(self):
+        bus = RoundBus()
+        engine = self._engine(bus)
+        assert engine.round_bus is bus
