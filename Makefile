@@ -1,12 +1,20 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test bench bench-quick bench-figures chaos-smoke figures examples clean
+.PHONY: install test lint bench bench-quick bench-figures chaos-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+lint:             ## determinism/invariant lint (REP rules) + mypy when installed
+	PYTHONPATH=src python -m repro lint src/
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/sim src/repro/core src/repro/chaos; \
+	else \
+		echo "mypy not installed locally; skipping type check (CI runs it)"; \
+	fi
 
 bench:            ## wall-clock perf harness -> BENCH_core.json
 	PYTHONPATH=src python benchmarks/perf/run_bench.py

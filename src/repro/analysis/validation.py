@@ -19,6 +19,7 @@ import math
 import numpy as np
 
 from repro.analysis.epidemic import logistic_infected
+from repro.sim.rng import RngRegistry
 
 __all__ = [
     "simulate_epidemic",
@@ -77,7 +78,10 @@ def simulate_epidemic(
         raise ValueError("b must be non-negative")
     if rounds < 0 or trials < 1:
         raise ValueError("need rounds >= 0 and trials >= 1")
-    rng = np.random.default_rng(seed)
+    # Derived-stream discipline: validation runs share the registry's
+    # seed derivation, so a validation sweep never perturbs (and is never
+    # perturbed by) draws made elsewhere under the same root seed.
+    rng = RngRegistry(seed).stream("analysis", "epidemic-validation")
     totals = np.zeros(rounds + 1)
     whole = int(math.floor(b))
     fraction = b - whole

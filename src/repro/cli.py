@@ -153,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_parser.add_argument("--csv", default=None, metavar="FILE",
                               help="write the report as CSV")
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism/invariant static-analysis rules",
+        description=(
+            "Repo-specific AST lint (REP001-REP005): raw RNG outside "
+            "RngRegistry, wall-clock calls in sim packages, unordered "
+            "set iteration, truthiness-vs-is-None on containers, and "
+            "mutable shared state.  Exit 0 = clean, 1 = violations, "
+            "2 = usage error.  See docs/STATIC_ANALYSIS.md."
+        ),
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+
     monitor_parser = sub.add_parser(
         "monitor", help="run a periodic monitoring session"
     )
@@ -305,6 +320,10 @@ def main(argv: list[str] | None = None) -> int:
         return _show_hierarchy(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.command == "monitor":
         return _run_monitor(args)
     return _run_figure(args.command, args)

@@ -51,6 +51,14 @@ class DoubleCountError(Exception):
     """A merge would include some member's vote twice (Section 2 violation)."""
 
 
+#: Runtime-sanitizer merge hook, late-bound by :func:`repro.sanitize.enable`
+#: (late binding avoids an import cycle and keeps the disabled-path cost
+#: at one attribute test per merge).  When set, it is called with
+#: ``(function, a, b)`` before every merge and may raise
+#: :class:`repro.sanitize.SanitizerError`.
+_SANITIZE_HOOK = None
+
+
 @dataclass(frozen=True)
 class AggregateState:
     """A partial evaluation of an aggregate over a set of member votes.
@@ -130,6 +138,8 @@ class AggregateFunction:
         This is the paper's combiner ``g``.  Raises
         :class:`DoubleCountError` if the vote sets overlap.
         """
+        if _SANITIZE_HOOK is not None:
+            _SANITIZE_HOOK(self, a, b)
         overlap = a.members & b.members
         if overlap:
             raise DoubleCountError(

@@ -32,7 +32,9 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from typing import Any
 
+import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.gridbox import GridAssignment
 from repro.core.messages import GossipBatch, GossipValue
@@ -226,7 +228,7 @@ class HierarchicalGossipProcess(AggregationProcess):
         self._peers_cache: dict[int, tuple[tuple[int, ...], int | None]] = {}
         #: Cached per-process gossip stream (stable generator object from
         #: the run's RngRegistry; avoids a registry lookup every round).
-        self._gossip_rng = None
+        self._gossip_rng: Any = None
         # -- hardening state (all zero when the knobs are off) ----------
         #: Messages admitted for the *current* phase (observed-delivery
         #: signal for the adaptive deadline).
@@ -567,13 +569,33 @@ class HierarchicalGossipProcess(AggregationProcess):
         # instead of locking in a partial compose under heavy loss.
         return not self._maybe_extend()
 
+    def _compose_known(self, ctx: Context) -> AggregateState:
+        """Compose the current phase's known values into one aggregate.
+
+        Under the runtime sanitizer (:mod:`repro.sanitize`) the merge
+        fold runs inside a compose context — a double count or
+        count-channel drift is reported with this member, round and
+        phase — and the composed state is checked for mass conservation
+        against the run's ground-truth votes.
+        """
+        if not sanitize.ACTIVE:
+            return self.function.merge_all(list(self.known.values()))
+        with sanitize.composing(self.node_id, ctx.round, self.phase):
+            composed = self.function.merge_all(list(self.known.values()))
+        sanitize.check_compose(self, ctx.round, self.phase, composed)
+        return composed
+
     def _maybe_advance(self, ctx: Context) -> None:
         """Step II(b): compose and bump up, cascading if buffers allow."""
         while self.result is None and self._phase_complete(ctx):
-            composed = self.function.merge_all(list(self.known.values()))
+            composed = self._compose_known(ctx)
             completed_subtree = self.assignment.subtree_of(
                 self.node_id, self.phase
             )
+            if sanitize.ACTIVE:
+                sanitize.check_phase_bump(
+                    self, ctx.round, self.phase, self.phase + 1
+                )
             self.phase += 1
             self.phase_rounds = 0
             self._phase_received = 0
@@ -610,7 +632,7 @@ def build_hierarchical_gossip_group(
     models multicast-wave initiation: per-member start delays (default:
     everyone starts at round 0, the paper's simultaneous start).
     """
-    params = params or GossipParams()
+    params = params if params is not None else GossipParams()
     member_ids = tuple(votes)
     if len(member_ids) > 1 and params.fanout_m > len(member_ids):
         raise ValueError(

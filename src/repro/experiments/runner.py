@@ -247,9 +247,29 @@ def _campaign_horizon(config: RunConfig, max_rounds: int) -> int:
 
 def run_once(config: RunConfig) -> RunResult:
     """Build the configured world, run it to completion, measure it."""
+    from repro import sanitize
+
     rngs = RngRegistry(seed=config.seed)
     votes = _make_votes(config, rngs)
     function = get_aggregate(config.aggregate)
+    if sanitize.ACTIVE:
+        # Ground truth for mass-conservation / foreign-member checks at
+        # every phase compose (see repro.sanitize).  Draws nothing and
+        # mutates nothing, so results are identical with or without it.
+        sanitize.begin_run(votes, function)
+    try:
+        return _run_built(config, rngs, votes, function)
+    finally:
+        if sanitize.ACTIVE:
+            sanitize.end_run()
+
+
+def _run_built(
+    config: RunConfig,
+    rngs: RngRegistry,
+    votes: dict[int, float],
+    function,
+) -> RunResult:
     true_value = function.finalize(function.over(votes))
     processes, max_rounds = _build_processes(config, votes, rngs)
     compiled = None

@@ -1,0 +1,31 @@
+"""Custom determinism/invariant static analysis for the reproduction.
+
+``repro lint`` (also ``make lint``) runs repo-specific AST rules that
+guard the codebase's two load-bearing properties — byte-determinism
+across ``--jobs`` counts and the paper's no-double-counting constraint —
+at commit time instead of leaving them to end-to-end golden tests.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale, and
+:mod:`repro.sanitize` for the matching runtime checks.
+"""
+
+from repro.lint.engine import LintEngine, LintResult, Suppressions
+from repro.lint.rules import ALL_RULES, Rule, rules_by_code
+from repro.lint.violations import (
+    JSON_SCHEMA_VERSION,
+    Violation,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "JSON_SCHEMA_VERSION",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "render_json",
+    "render_text",
+    "rules_by_code",
+]

@@ -1,0 +1,117 @@
+"""Argument handling for the ``repro lint`` CLI verb.
+
+Kept separate from :mod:`repro.cli` so the linter stays importable (and
+testable) without the experiment stack, and so ``repro.cli`` only pays
+for the import when the verb is actually used.
+
+Exit codes: 0 = no unsuppressed violations, 1 = violations found
+(including unparsable files), 2 = usage error (unknown rule, missing
+path, malformed suppression file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import LintEngine, Suppressions
+from repro.lint.rules import ALL_RULES, rules_by_code
+from repro.lint.violations import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+#: Suppression file picked up automatically when present in the cwd.
+DEFAULT_SUPPRESSION_FILE = ".reprolint"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--suppressions", default=None, metavar="FILE",
+        help=f"suppression file ('CODE path-glob' lines; default: "
+             f"./{DEFAULT_SUPPRESSION_FILE} when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the rule codes and summaries, then exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    rules = ALL_RULES
+    if args.rules is not None:
+        known = rules_by_code()
+        selected = []
+        for code in args.rules.split(","):
+            code = code.strip()
+            if code not in known:
+                print(
+                    f"repro lint: unknown rule {code!r}; known: "
+                    f"{', '.join(known)}",
+                    file=sys.stderr,
+                )
+                return 2
+            selected.append(known[code])
+        rules = tuple(selected)
+
+    suppression_path = (
+        Path(args.suppressions)
+        if args.suppressions is not None
+        else Path(DEFAULT_SUPPRESSION_FILE)
+    )
+    suppressions = None
+    if suppression_path.exists():
+        try:
+            suppressions = Suppressions.load(suppression_path)
+        except ValueError as error:
+            print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+    elif args.suppressions is not None:
+        print(
+            f"repro lint: suppression file not found: {suppression_path}",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine = LintEngine(rules=rules, suppressions=suppressions)
+    try:
+        result = engine.check_paths([Path(path) for path in args.paths])
+    except FileNotFoundError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result.violations, result.checked_files,
+                   result.suppressed))
+    return 0 if result.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Determinism/invariant lint for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""The ``repro lint`` engine: walk files, run rules, apply suppressions.
+
+Two suppression mechanisms, both scoped as narrowly as possible:
+
+* **Inline pragma** — ``# repro-lint: ok`` on the offending line silences
+  every rule for that line; ``# repro-lint: ok[REP001,REP003]`` silences
+  only the named rules.  Use for individually justified exceptions where
+  the justification fits in the same comment.
+* **Suppression file** — one ``CODE path-glob`` entry per line
+  (``#`` comments and blank lines ignored); ``*`` as the code matches
+  every rule.  Globs are matched with :mod:`fnmatch` against the
+  posix-style path the report prints.  Use for known, baselined
+  exceptions that are too broad for inline pragmas.
+
+Exit-code contract (see :func:`repro.lint.cli.main`): 0 = clean,
+1 = violations (including files that fail to parse, reported as
+``REP000``), 2 = usage errors such as a nonexistent path.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.violations import Violation
+
+__all__ = ["LintEngine", "LintResult", "Suppressions", "parse_pragmas"]
+
+#: ``# repro-lint: ok`` / ``# repro-lint: ok[REP001, REP004]``
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*ok(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+
+def parse_pragmas(source: str) -> dict[int, frozenset[str] | None]:
+    """Line number -> suppressed codes (None = all rules) for one file."""
+    pragmas: dict[int, frozenset[str] | None] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            pragmas[line_number] = None
+        else:
+            pragmas[line_number] = frozenset(
+                code.strip() for code in codes.split(",") if code.strip()
+            )
+    return pragmas
+
+
+class Suppressions:
+    """Parsed suppression file: ``(code, path-glob)`` entries."""
+
+    def __init__(self, entries: list[tuple[str, str]] | None = None):
+        self.entries = list(entries) if entries is not None else []
+
+    @classmethod
+    def load(cls, path: Path) -> "Suppressions":
+        entries: list[tuple[str, str]] = []
+        for line_number, raw in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2 or (
+                parts[0] != "*" and not re.fullmatch(r"REP\d{3}", parts[0])
+            ):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'CODE path-glob' "
+                    f"(CODE = REPnnn or *), got {raw!r}"
+                )
+            entries.append((parts[0], parts[1]))
+        return cls(entries)
+
+    def matches(self, violation: Violation) -> bool:
+        for code, glob in self.entries:
+            if code not in ("*", violation.code):
+                continue
+            if fnmatch(violation.path, glob) or fnmatch(
+                violation.path, f"*/{glob}"
+            ):
+                return True
+        return False
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checked_files: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class LintEngine:
+    """Run a rule set over files and directories."""
+
+    def __init__(
+        self,
+        rules: tuple[Rule, ...] = ALL_RULES,
+        suppressions: Suppressions | None = None,
+    ):
+        self.rules = tuple(rules)
+        self.suppressions = suppressions if suppressions is not None else (
+            Suppressions()
+        )
+
+    # -- file discovery -------------------------------------------------
+    @staticmethod
+    def discover(paths: list[Path]) -> list[Path]:
+        """All ``*.py`` files under ``paths`` (files pass through).
+
+        Hidden directories and ``__pycache__`` are skipped.  Raises
+        :class:`FileNotFoundError` for a path that does not exist — a
+        mistyped path silently linting nothing would defeat the gate.
+        """
+        files: list[Path] = []
+        for path in paths:
+            if not path.exists():
+                raise FileNotFoundError(f"no such file or directory: {path}")
+            if path.is_file():
+                files.append(path)
+                continue
+            for candidate in sorted(path.rglob("*.py")):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    continue
+                files.append(candidate)
+        return files
+
+    # -- checking -------------------------------------------------------
+    def check_source(self, source: str, path: str) -> LintResult:
+        """Lint one in-memory module (the unit the tests drive)."""
+        result = LintResult(checked_files=1)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            result.violations.append(Violation(
+                code="REP000",
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            ))
+            return result
+        pragmas = parse_pragmas(source)
+        for rule in self.rules:
+            if not rule.applies_to(path):
+                continue
+            for violation in rule.check(tree, path):
+                suppressed_codes = pragmas.get(violation.line, frozenset())
+                if suppressed_codes is None or (
+                    violation.code in suppressed_codes
+                ):
+                    result.suppressed += 1
+                elif self.suppressions.matches(violation):
+                    result.suppressed += 1
+                else:
+                    result.violations.append(violation)
+        result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return result
+
+    def check_paths(self, paths: list[Path]) -> LintResult:
+        """Lint every python file under ``paths``."""
+        total = LintResult()
+        for file_path in self.discover(paths):
+            source = file_path.read_text(encoding="utf-8")
+            partial = self.check_source(source, file_path.as_posix())
+            total.violations.extend(partial.violations)
+            total.checked_files += partial.checked_files
+            total.suppressed += partial.suppressed
+        total.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return total

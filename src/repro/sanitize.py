@@ -1,0 +1,337 @@
+"""Runtime aggregation sanitizer: the dynamic half of ``repro lint``.
+
+The static rules (:mod:`repro.lint`) catch nondeterminism *sources*; this
+module catches *invariant violations while they happen*, with a
+structured report naming the offending member, round and phase:
+
+* **Membership-mask disjointness** — every
+  :meth:`repro.core.aggregates.AggregateFunction.merge` is intercepted
+  and re-checked before the merge runs; an overlap raises
+  :class:`DoubleCountViolation` (a subclass of both
+  :class:`SanitizerError` and the protocol's own
+  :class:`~repro.core.aggregates.DoubleCountError`) carrying the
+  composing member / round / phase when a compose is in progress.
+  This is the paper's Section 2 no-double-counting constraint, enforced
+  mechanically (the premise of Theorem 1's ``1 - 1/N`` bound).
+* **Count-channel conservation** — for count-bearing aggregates
+  (count, average, mean_variance, histogram) the payload's count channel
+  must equal the membership mask's size at every merge: a state claiming
+  more votes than its mask covers is a smuggled double count, one
+  claiming fewer is vote loss mislabeled as coverage.
+* **Mass conservation** — at every phase compose, the payload of
+  sum-like aggregates is re-derived from the run's ground-truth votes
+  over exactly the state's membership mask (the flow-updating /
+  mass-distribution correctness lens of Almeida et al.); a mismatch
+  beyond float-fold tolerance means votes were altered, duplicated or
+  fabricated in flight.
+* **Monotone phase clock** — members may only advance ``phase -> phase+1``
+  and never move backwards or skip, mirroring the bump-up rule II(b).
+
+Enabled by ``REPRO_SANITIZE=1`` in the environment (read once at import)
+or :func:`enable`; the test suite turns it on by default (see
+``tests/conftest.py``).  When disabled the hooks cost one module-level
+attribute check per compose and nothing per merge.
+
+The sanitizer draws no randomness and mutates no simulation state, so
+enabling it never changes results — byte-determinism across ``--jobs``
+counts is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.core.aggregates import (
+    AggregateFunction,
+    AggregateState,
+    DoubleCountError,
+)
+
+__all__ = [
+    "SanitizerViolation",
+    "SanitizerError",
+    "DoubleCountViolation",
+    "enable",
+    "disable",
+    "enabled",
+    "begin_run",
+    "end_run",
+    "composing",
+    "check_compose",
+    "check_phase_bump",
+]
+
+#: Fast-path flag: hook sites test this before doing any work.
+ACTIVE = False
+
+#: Relative tolerance for float mass checks (merges fold in gossip order,
+#: ground truth in dict order — last-bit drift is expected, mass loss is
+#: not).
+MASS_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One invariant violation, located in protocol space-time."""
+
+    kind: str                #: "double-count" | "count-channel" |
+                             #: "mass-conservation" | "foreign-member" |
+                             #: "phase-clock"
+    detail: str              #: Human-readable specifics.
+    member: int | None = None  #: Offending member id (composer/owner).
+    round: int | None = None   #: Simulation round of the violation.
+    phase: int | None = None   #: Protocol phase of the violation.
+
+    def report(self) -> str:
+        where = ", ".join(
+            f"{label} {value}"
+            for label, value in (
+                ("member", self.member),
+                ("round", self.round),
+                ("phase", self.phase),
+            )
+            if value is not None
+        )
+        prefix = f"REPRO-SANITIZE {self.kind}"
+        return f"{prefix} [{where}]: {self.detail}" if where else (
+            f"{prefix}: {self.detail}"
+        )
+
+
+class SanitizerError(AssertionError):
+    """An aggregation invariant was violated at runtime."""
+
+    def __init__(self, violation: SanitizerViolation):
+        super().__init__(violation.report())
+        self.violation = violation
+
+
+class DoubleCountViolation(SanitizerError, DoubleCountError):
+    """Double count caught by the sanitizer.
+
+    Also a :class:`~repro.core.aggregates.DoubleCountError`, so code and
+    tests expecting the protocol's own exception keep working when the
+    sanitizer intercepts the merge first.
+    """
+
+
+# -- run-scoped state ---------------------------------------------------
+#: Ground truth of the current run: (votes, function), set by begin_run.
+_GROUND_TRUTH: tuple[Mapping[int, float], AggregateFunction] | None = None
+#: (member, round, phase) of the compose in progress, for merge reports.
+_COMPOSE_CONTEXT: tuple[int, int, int] | None = None
+
+
+def enabled() -> bool:
+    return ACTIVE
+
+
+def enable() -> None:
+    """Turn the sanitizer on (idempotent) and bind the merge hook."""
+    global ACTIVE
+    from repro.core import aggregates
+
+    aggregates._SANITIZE_HOOK = _on_merge
+    ACTIVE = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off and unbind the merge hook."""
+    global ACTIVE, _GROUND_TRUTH, _COMPOSE_CONTEXT
+    from repro.core import aggregates
+
+    aggregates._SANITIZE_HOOK = None
+    ACTIVE = False
+    _GROUND_TRUTH = None
+    _COMPOSE_CONTEXT = None
+
+
+def begin_run(
+    votes: Mapping[int, float], function: AggregateFunction
+) -> None:
+    """Install the ground truth of one run (member -> vote).
+
+    Mass-conservation and foreign-member checks are only possible while
+    a ground truth is installed; :func:`run_once
+    <repro.experiments.runner.run_once>` installs it for every run when
+    the sanitizer is active.  Checks degrade gracefully (mask-only)
+    without one.
+    """
+    global _GROUND_TRUTH
+    _GROUND_TRUTH = (dict(votes), function)
+
+
+def end_run() -> None:
+    global _GROUND_TRUTH
+    _GROUND_TRUTH = None
+
+
+@contextmanager
+def composing(member: int, round_number: int, phase: int) -> Iterator[None]:
+    """Attribute merge-level violations to a member/round/phase."""
+    global _COMPOSE_CONTEXT
+    previous = _COMPOSE_CONTEXT
+    _COMPOSE_CONTEXT = (member, round_number, phase)
+    try:
+        yield
+    finally:
+        _COMPOSE_CONTEXT = previous
+
+
+def _located(kind: str, detail: str) -> SanitizerViolation:
+    member, round_number, phase = _COMPOSE_CONTEXT or (None, None, None)
+    return SanitizerViolation(
+        kind=kind, detail=detail, member=member, round=round_number,
+        phase=phase,
+    )
+
+
+# -- merge-level checks (bound into AggregateFunction.merge) ------------
+def _count_channel(
+    function: AggregateFunction, state: AggregateState
+) -> int | None:
+    """The payload's vote count for count-bearing aggregates, else None."""
+    name = function.name
+    payload = state.payload
+    if name == "count":
+        return int(payload)
+    if name == "average":
+        return int(payload[1])
+    if name == "mean_variance":
+        return int(payload[0])
+    if name == "histogram":
+        return int(sum(payload))
+    return None
+
+
+def _on_merge(
+    function: AggregateFunction, a: AggregateState, b: AggregateState
+) -> None:
+    """Pre-merge invariant checks (installed as the aggregates hook)."""
+    overlap = a.members & b.members
+    if overlap:
+        raise DoubleCountViolation(_located(
+            "double-count",
+            f"{function.name}: members {sorted(overlap)[:5]} appear in "
+            f"both merge operands — some vote would be counted twice "
+            f"(Section 2 no-double-counting violation)",
+        ))
+    for state in (a, b):
+        counted = _count_channel(function, state)
+        if counted is not None and counted != state.covers():
+            raise SanitizerError(_located(
+                "count-channel",
+                f"{function.name}: payload counts {counted} vote(s) but "
+                f"the membership mask covers {state.covers()} — counts "
+                f"and mask drifted apart (double count or vote loss)",
+            ))
+
+
+# -- compose/phase checks (called from the gossip protocol) -------------
+def _expected_mass(
+    function: AggregateFunction,
+    members: frozenset[int],
+    votes: Mapping[int, float],
+):
+    """Ground-truth payload for sum-like aggregates, else None."""
+    name = function.name
+    if name == "sum":
+        return math.fsum(votes[m] for m in members)
+    if name == "average":
+        return (math.fsum(votes[m] for m in members), len(members))
+    if name == "min":
+        return min(votes[m] for m in members)
+    if name == "max":
+        return max(votes[m] for m in members)
+    if name == "bounds":
+        return (min(votes[m] for m in members),
+                max(votes[m] for m in members))
+    if name == "count":
+        return len(members)
+    return None
+
+
+def _mass_mismatch(expected, actual) -> bool:
+    if isinstance(expected, tuple):
+        return len(expected) != len(actual) or any(
+            _mass_mismatch(e, a) for e, a in zip(expected, actual)
+        )
+    if isinstance(expected, int):
+        return expected != actual
+    return abs(actual - expected) > MASS_RTOL * max(1.0, abs(expected))
+
+
+def check_compose(
+    process, round_number: int, phase: int, state: AggregateState
+) -> None:
+    """Validate a freshly composed aggregate against the ground truth.
+
+    ``process`` is the composing protocol process (supplies member id
+    and, for the foreign-member fallback, the grid assignment).
+    """
+    member = process.node_id
+    function: AggregateFunction = process.function
+    if _GROUND_TRUTH is not None:
+        votes, __ = _GROUND_TRUTH
+        foreign = [m for m in sorted(state.members) if m not in votes]
+    else:
+        votes = None
+        known = getattr(
+            getattr(process, "assignment", None), "member_ids", None
+        )
+        foreign = (
+            [m for m in sorted(state.members) if m not in known]
+            if known is not None else []
+        )
+    if foreign:
+        raise SanitizerError(SanitizerViolation(
+            kind="foreign-member",
+            detail=(
+                f"{function.name}: composed mask includes ids "
+                f"{foreign[:5]} that are not members of this run — "
+                f"fabricated or cross-run votes"
+            ),
+            member=member, round=round_number, phase=phase,
+        ))
+    if votes is None:
+        return
+    expected = _expected_mass(function, state.members, votes)
+    if expected is not None and _mass_mismatch(expected, state.payload):
+        raise SanitizerError(SanitizerViolation(
+            kind="mass-conservation",
+            detail=(
+                f"{function.name}: composed payload {state.payload!r} "
+                f"!= ground-truth recomputation {expected!r} over the "
+                f"{state.covers()} covered vote(s) — votes were altered, "
+                f"duplicated or fabricated in flight"
+            ),
+            member=member, round=round_number, phase=phase,
+        ))
+
+
+def check_phase_bump(
+    process, round_number: int, from_phase: int, to_phase: int
+) -> None:
+    """Assert the member's phase clock only ever steps forward by one."""
+    last = getattr(process, "_sanitize_phase_clock", from_phase)
+    if to_phase != from_phase + 1 or from_phase != last:
+        raise SanitizerError(SanitizerViolation(
+            kind="phase-clock",
+            detail=(
+                f"phase clock must step monotonically by one "
+                f"(last composed phase {last}, now bumping "
+                f"{from_phase} -> {to_phase})"
+            ),
+            member=process.node_id, round=round_number, phase=from_phase,
+        ))
+    process._sanitize_phase_clock = to_phase
+
+
+if os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+    "1", "true", "on", "yes",
+):
+    enable()

@@ -159,8 +159,10 @@ class SimulationEngine:
         round_bus: RoundBus | None = None,
     ):
         self.network = network
-        self.failure_model = failure_model or NoFailures()
-        self.rngs = rngs or RngRegistry(seed=0)
+        self.failure_model = (
+            failure_model if failure_model is not None else NoFailures()
+        )
+        self.rngs = rngs if rngs is not None else RngRegistry(seed=0)
         self.max_rounds = max_rounds
         self.tracer = tracer
         self.metrics = metrics
@@ -282,7 +284,10 @@ class SimulationEngine:
             [p.node_id for p in self.processes.values() if not p.alive],
             self.rngs.stream("failures"),
         )
-        for node_id in crashed:
+        # The failure model returns *sets*; apply them in sorted id order
+        # so crash/recovery callbacks and trace events never depend on
+        # hash-iteration order (REP003 discipline).
+        for node_id in sorted(crashed):
             process = self.processes[node_id]
             if process.alive:
                 process.alive = False
@@ -291,7 +296,7 @@ class SimulationEngine:
                 self._ctx.current = process
                 process.on_crash(self._ctx)
                 self._ctx.current = None
-        for node_id in recovered:
+        for node_id in sorted(recovered):
             process = self.processes[node_id]
             if not process.alive:
                 process.alive = True

@@ -106,8 +106,10 @@ class ScheduledFailures(FailureModel):
         recover_at: Mapping[int, Iterable[int]] | None = None,
         member_ids: Iterable[int] | None = None,
     ):
-        self.crash_at = {r: set(ids) for r, ids in (crash_at or {}).items()}
-        self.recover_at = {r: set(ids) for r, ids in (recover_at or {}).items()}
+        crash_at = crash_at if crash_at is not None else {}
+        recover_at = recover_at if recover_at is not None else {}
+        self.crash_at = {r: set(ids) for r, ids in crash_at.items()}
+        self.recover_at = {r: set(ids) for r, ids in recover_at.items()}
         for label, schedule in (("crash_at", self.crash_at),
                                 ("recover_at", self.recover_at)):
             for round_number in schedule:

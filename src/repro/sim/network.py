@@ -106,9 +106,9 @@ class Network:
         # draws the same doubles in the same order as n scalar calls), and
         # the stream lookups themselves are resolved once per registry.
         self._rng_source: RngRegistry | None = None
-        self._loss_draws = None
+        self._loss_draws: Any = None
         self._loss_next = 0
-        self._latency_stream = None
+        self._latency_stream: Any = None
 
     #: Messages per pre-drawn block of loss uniforms.
     LOSS_BLOCK = 512

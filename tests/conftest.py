@@ -7,7 +7,19 @@ keeps CI runs stable — the RNG-heavy properties already explore widely
 through their own seeded strategies.
 """
 
+import os
+
 from hypothesis import HealthCheck, settings
+
+# The runtime aggregation sanitizer (repro.sanitize) is on for the whole
+# suite: it draws no randomness and mutates no simulation state, so
+# results are byte-identical — it only turns silent invariant violations
+# (double counts, mass loss, phase-clock skew) into structured failures.
+# Opt out with REPRO_SANITIZE=0; REPRO_SANITIZE=1 is the CI spelling.
+if os.environ.get("REPRO_SANITIZE", "").strip() != "0":
+    from repro import sanitize
+
+    sanitize.enable()
 
 settings.register_profile(
     "repro",

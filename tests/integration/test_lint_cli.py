@@ -1,0 +1,114 @@
+"""Integration tests for the ``repro lint`` CLI verb.
+
+Pins the exit-code contract (0 clean / 1 violations / 2 usage error),
+the JSON output over the committed fixture corpus, and the repo's own
+acceptance gate: ``repro lint src/`` must be clean.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+CORPUS = REPO / "tests" / "lint_corpus"
+
+#: The corpus' pinned per-rule violation counts (see tests/lint_corpus).
+CORPUS_COUNTS = {
+    "REP001": 4,
+    "REP002": 5,
+    "REP003": 3,
+    "REP004": 3,
+    "REP005": 5,
+}
+
+
+class TestExitCodes:
+    def test_corpus_has_violations(self, capsys):
+        assert main(["lint", str(CORPUS)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "REP005" in out
+
+    def test_clean_file_exits_zero(self, capsys):
+        assert main(["lint", str(CORPUS / "rep001_clean.py")]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--rules", "REP999", str(CORPUS)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", str(REPO / "no-such-dir")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_missing_explicit_suppression_file_is_usage_error(
+        self, capsys
+    ):
+        code = main([
+            "lint", "--suppressions", str(REPO / "no-such-file"),
+            str(CORPUS),
+        ])
+        assert code == 2
+        assert "suppression file not found" in capsys.readouterr().err
+
+    def test_malformed_suppression_file_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "suppressions"
+        bad.write_text("not-a-code foo.py\n")
+        code = main([
+            "lint", "--suppressions", str(bad), str(CORPUS),
+        ])
+        assert code == 2
+        assert "expected 'CODE path-glob'" in capsys.readouterr().err
+
+
+class TestReportsAndSelection:
+    def test_json_report_over_corpus(self, capsys):
+        assert main(["lint", "--format", "json", str(CORPUS)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-lint/1"
+        assert document["counts"] == CORPUS_COUNTS
+        assert document["suppressed"] == 1  # the pragma in suppressed.py
+
+    def test_rule_selection_narrows_the_run(self, capsys):
+        assert main(["lint", "--rules", "REP001", str(CORPUS)]) == 1
+        document_codes = {
+            line.split()[1].rstrip(":")
+            for line in capsys.readouterr().out.splitlines()
+            if ": REP" in line
+        }
+        assert all(code.startswith("REP001") for code in document_codes)
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in CORPUS_COUNTS:
+            assert code in out
+
+    def test_suppression_file_can_baseline_the_corpus(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        (tmp_path / ".reprolint").write_text("* *\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(CORPUS)]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+
+class TestAcceptanceGate:
+    def test_repo_source_tree_is_clean(self, capsys):
+        """The repo's own gate: zero unsuppressed violations in src/."""
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_standalone_module_entry_point(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lint.cli", "--list-rules"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0
+        assert "REP001" in completed.stdout

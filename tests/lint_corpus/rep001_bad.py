@@ -1,0 +1,20 @@
+"""REP001 fixture: raw RNG constructed outside repro/sim/rng.py.
+
+Every draw below creates an unnamed stream the RngRegistry cannot
+replay, so adding or removing one silently perturbs every other draw.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_badly(seed: int) -> float:
+    generator = np.random.default_rng(seed)       # REP001
+    legacy = float(np.random.random())            # REP001 (global state)
+    stdlib = random.randint(0, 10)                # REP001
+    imported = default_rng(seed + 1)              # REP001
+    return float(generator.random()) + legacy + stdlib + float(
+        imported.random()
+    )

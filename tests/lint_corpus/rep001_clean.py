@@ -1,0 +1,10 @@
+"""REP001 clean fixture: all randomness flows through the registry."""
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+def draw_well(seed: int) -> float:
+    rngs = RngRegistry(seed)
+    stream = rngs.stream("corpus", "clean")
+    child_seed = derive_seed(seed, "leaf")
+    return float(stream.random()) + float(child_seed % 2)

@@ -1,0 +1,16 @@
+"""REP003 fixture: iteration order of sets leaking into outputs.
+
+Each construct below materialises or walks an unordered collection in a
+context where element order is observable (a list, a loop body), which
+makes the result depend on hash seeding / insertion history.
+"""
+
+
+def emit_order(known: dict[int, float]) -> list[int]:
+    pending = set(known)
+    order = [member for member in pending]        # REP003 (listcomp)
+    extras = list(known.keys() & pending)         # REP003 (list of view op)
+    for member in frozenset(known) - pending:     # REP003 (for over set op)
+        order.append(member)
+    order.extend(extras)
+    return order

@@ -1,0 +1,11 @@
+"""REP003 clean fixture: unordered collections are either sorted before
+order matters or consumed by order-insensitive reducers."""
+
+
+def emit_order(known: dict[int, float]) -> list[int]:
+    pending = set(known)
+    order = sorted(pending)                       # ok: sorted
+    total = sum(1 for member in pending)          # ok: order-free reducer
+    largest = max(known.keys() & pending)         # ok: order-free reducer
+    unique = {member for member in pending}       # ok: set -> set
+    return order + [largest, total, len(unique)]

@@ -1,0 +1,26 @@
+"""REP004 fixture: truthiness used where ``is None`` was meant.
+
+``Bus`` defines ``__len__``, so an *empty but present* bus is falsy and
+``bus or Bus()`` silently replaces it — the exact bug class behind the
+PR 2 RoundBus regression.
+"""
+
+
+class Bus:
+    def __init__(self) -> None:
+        self.subscribers: list = []
+
+    def __len__(self) -> int:
+        return len(self.subscribers)
+
+
+def run(bus: "Bus | None" = None):
+    bus = bus or Bus()                            # REP004 (empty is falsy)
+    if not bus:                                   # REP004
+        raise RuntimeError("unreachable for an empty-but-present bus")
+    return bus
+
+
+def build(config=None):
+    config = config or dict()                     # REP004 (ctor fallback)
+    return config

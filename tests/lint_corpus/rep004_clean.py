@@ -1,0 +1,18 @@
+"""REP004 clean fixture: explicit ``is None`` checks for optional
+containers; ``or``-fallback stays fine for scalar-typed parameters."""
+
+
+class Bus:
+    def __len__(self) -> int:
+        return 0
+
+
+def run(bus: "Bus | None" = None, name: "str | None" = None):
+    bus = bus if bus is not None else Bus()
+    label = name or "default"                     # ok: str is scalar
+    return bus, label
+
+
+def build(config=None):
+    config = config if config is not None else {}
+    return config

@@ -1,0 +1,20 @@
+"""REP005 fixture: mutable state shared across calls and instances.
+
+Mutable default arguments and class-level mutable literals persist
+between runs, so run N's results depend on runs 1..N-1 — a cross-run
+state leak that breaks replayability.
+"""
+
+import collections
+
+
+class Engine:
+    listeners = []                                # REP005 (class mutable)
+    cache: dict = {}                              # REP005
+    index = collections.Counter()                 # REP005 (factory)
+
+
+def record(value, seen=set(), log=[]):            # REP005 (two defaults)
+    seen.add(value)
+    log.append(value)
+    return seen, log

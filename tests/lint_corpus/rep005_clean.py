@@ -1,0 +1,16 @@
+"""REP005 clean fixture: per-instance state in __init__, sentinel
+defaults materialised inside the call."""
+
+
+class Engine:
+    __slots__ = ("listeners",)                    # ok: immutable convention
+    name = "engine"
+
+    def __init__(self) -> None:
+        self.listeners = []
+
+
+def record(value, seen=None):
+    seen = set() if seen is None else seen
+    seen.add(value)
+    return seen

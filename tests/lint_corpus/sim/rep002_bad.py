@@ -1,0 +1,19 @@
+"""REP002 fixture: nondeterminism sources in a sim-critical package.
+
+The ``sim/`` path segment puts this file inside REP002's scope; every
+call below makes a run depend on wall-clock, OS entropy, the process
+environment or CPython object addresses.
+"""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp(values: list[int]) -> float:
+    now = time.time()                             # REP002
+    today = datetime.now()                        # REP002
+    entropy = os.urandom(8)                       # REP002
+    mode = os.environ.get("SIM_MODE", "")         # REP002 (environ)
+    ordered = sorted(values, key=id)              # REP002 (id ordering)
+    return now + today.microsecond + entropy[0] + len(mode) + ordered[0]

@@ -1,0 +1,9 @@
+"""REP002 clean fixture: simulation time is the round counter, entropy
+comes from the run's registry, configuration is passed in explicitly."""
+
+from repro.sim.rng import RngRegistry
+
+
+def stamp(round_number: int, rngs: RngRegistry, mode: str) -> float:
+    jitter = float(rngs.stream("corpus", "jitter").random())
+    return round_number + jitter + len(mode)

@@ -1,0 +1,12 @@
+"""Pragma fixture: an acknowledged violation silenced inline.
+
+This file must lint clean — the raw RNG below is explicitly waived with
+the ``# repro-lint: ok[CODE]`` pragma (the corpus equivalent of the
+allowlisted construction site in ``repro/sim/rng.py``).
+"""
+
+import numpy as np
+
+
+def sanctioned(seed: int):
+    return np.random.default_rng(seed)  # repro-lint: ok[REP001]

@@ -1,0 +1,173 @@
+"""Engine-level tests: pragmas, suppression files, discovery, reports.
+
+The rule logic itself is covered in ``test_lint_rules.py``; here the
+subject is the machinery around it — how violations are silenced,
+how files are found, and the exact shape of the text/JSON reports the
+CI gate consumes.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    JSON_SCHEMA_VERSION,
+    LintEngine,
+    Suppressions,
+    Violation,
+    render_json,
+    render_text,
+)
+from repro.lint.engine import parse_pragmas
+
+RNG_SOURCE = textwrap.dedent(
+    """
+    import numpy as np
+
+    def f(seed):
+        return np.random.default_rng(seed)
+    """
+)
+
+
+def _violation(code="REP001", path="src/repro/sim/x.py", line=5):
+    return Violation(
+        code=code, path=path, line=line, col=4, message="test violation"
+    )
+
+
+class TestPragmas:
+    def test_bare_pragma_suppresses_every_code(self):
+        pragmas = parse_pragmas("x = 1  # repro-lint: ok\n")
+        assert pragmas == {1: None}
+
+    def test_coded_pragma_lists_codes(self):
+        pragmas = parse_pragmas("x = 1  # repro-lint: ok[REP001, REP004]\n")
+        assert pragmas == {1: frozenset({"REP001", "REP004"})}
+
+    def test_line_numbers_are_one_based(self):
+        pragmas = parse_pragmas("a = 1\nb = 2  # repro-lint: ok[REP005]\n")
+        assert set(pragmas) == {2}
+
+    def test_coded_pragma_silences_only_named_rule(self):
+        source = RNG_SOURCE.replace(
+            "default_rng(seed)",
+            "default_rng(seed)  # repro-lint: ok[REP002]",
+        )
+        result = LintEngine().check_source(source, "src/repro/sim/x.py")
+        assert [v.code for v in result.violations] == ["REP001"]
+        assert result.suppressed == 0
+
+    def test_matching_pragma_counts_as_suppressed(self):
+        source = RNG_SOURCE.replace(
+            "default_rng(seed)",
+            "default_rng(seed)  # repro-lint: ok[REP001]",
+        )
+        result = LintEngine().check_source(source, "src/repro/sim/x.py")
+        assert result.violations == []
+        assert result.suppressed == 1
+
+
+class TestSuppressions:
+    def test_load_parses_entries_and_ignores_comments(self, tmp_path):
+        path = tmp_path / ".reprolint"
+        path.write_text(
+            "# baseline\n"
+            "\n"
+            "REP001 legacy/*.py  # trailing comment\n"
+            "* generated/schema.py\n"
+        )
+        suppressions = Suppressions.load(path)
+        assert suppressions.entries == [
+            ("REP001", "legacy/*.py"),
+            ("*", "generated/schema.py"),
+        ]
+
+    @pytest.mark.parametrize(
+        "line", ["REP001", "BADCODE foo.py", "rep001 foo.py"]
+    )
+    def test_load_rejects_malformed_lines(self, tmp_path, line):
+        path = tmp_path / ".reprolint"
+        path.write_text(line + "\n")
+        with pytest.raises(ValueError):
+            Suppressions.load(path)
+
+    def test_matches_code_and_glob(self):
+        suppressions = Suppressions([("REP001", "legacy/*.py")])
+        assert suppressions.matches(_violation(path="legacy/old.py"))
+        assert suppressions.matches(_violation(path="src/legacy/old.py"))
+        assert not suppressions.matches(_violation(path="src/new.py"))
+        assert not suppressions.matches(
+            _violation(code="REP002", path="legacy/old.py")
+        )
+
+    def test_star_code_matches_every_rule(self):
+        suppressions = Suppressions([("*", "legacy/*.py")])
+        assert suppressions.matches(_violation(code="REP005",
+                                               path="legacy/old.py"))
+
+    def test_engine_counts_file_suppressions(self):
+        engine = LintEngine(
+            suppressions=Suppressions([("REP001", "src/repro/sim/x.py")])
+        )
+        result = engine.check_source(RNG_SOURCE, "src/repro/sim/x.py")
+        assert result.violations == []
+        assert result.suppressed == 1
+        assert result.clean
+
+
+class TestDiscovery:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            LintEngine.discover([tmp_path / "nope"])
+
+    def test_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+        found = LintEngine.discover([tmp_path])
+        assert found == [tmp_path / "pkg" / "mod.py"]
+
+    def test_explicit_file_passes_through(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert LintEngine.discover([target]) == [target]
+
+
+class TestParseErrors:
+    def test_unparsable_file_reports_rep000(self):
+        result = LintEngine().check_source("def broken(:\n", "bad.py")
+        assert [v.code for v in result.violations] == ["REP000"]
+        assert not result.clean
+
+
+class TestReports:
+    def test_text_report_lines_and_footer(self):
+        violation = _violation()
+        text = render_text([violation], checked_files=3, suppressed=2)
+        assert violation.render() in text
+        assert text.endswith("1 violation(s) in 3 file(s), 2 suppressed")
+
+    def test_json_report_schema(self):
+        violations = [_violation(), _violation(code="REP004", line=9)]
+        document = json.loads(render_json(violations, 7, suppressed=1))
+        assert document["schema"] == JSON_SCHEMA_VERSION == "repro-lint/1"
+        assert document["checked_files"] == 7
+        assert document["suppressed"] == 1
+        assert document["counts"] == {"REP001": 1, "REP004": 1}
+        assert document["violations"][0] == {
+            "code": "REP001",
+            "path": "src/repro/sim/x.py",
+            "line": 5,
+            "col": 4,
+            "message": "test violation",
+        }
+
+    def test_violation_render_is_editor_friendly(self):
+        assert _violation().render() == (
+            "src/repro/sim/x.py:5:4: REP001 test violation"
+        )

@@ -1,0 +1,292 @@
+"""Tests for the runtime aggregation sanitizer (:mod:`repro.sanitize`).
+
+The headline case plants a deliberate double count inside a live
+protocol run and asserts the sanitizer rejects it with a structured
+report naming the offending member, round and phase.  The rest covers
+each invariant in isolation (count channel, mass conservation, foreign
+members, phase clock), the exception-compatibility contract with
+:class:`~repro.core.aggregates.DoubleCountError`, and that enabling the
+sanitizer never changes results.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import sanitize
+from repro.core import aggregates
+from repro.core.aggregates import (
+    AggregateState,
+    AverageAggregate,
+    DoubleCountError,
+    SumAggregate,
+)
+from repro.core.gridbox import GridAssignment, GridBoxHierarchy
+from repro.core.hashing import StaticHash
+from repro.core.hierarchical_gossip import (
+    GossipParams,
+    build_hierarchical_gossip_group,
+)
+from repro.experiments.params import RunConfig
+from repro.experiments.runner import run_once
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class _StubProcess:
+    """Minimal protocol-process stand-in for compose/phase checks."""
+
+    def __init__(self, node_id=0, function=None):
+        self.node_id = node_id
+        self.function = function if function is not None else SumAggregate()
+
+
+@pytest.fixture
+def clean_sanitizer():
+    """Sanitizer on, with no leftover run state, restored afterwards."""
+    sanitize.enable()
+    sanitize.end_run()
+    yield sanitize
+    sanitize.end_run()
+    sanitize.enable()  # the suite default (tests/conftest.py) is on
+
+
+class TestEnableDisable:
+    def test_toggle_binds_and_unbinds_the_merge_hook(self, clean_sanitizer):
+        sanitize.disable()
+        assert not sanitize.enabled()
+        assert aggregates._SANITIZE_HOOK is None
+        sanitize.enable()
+        assert sanitize.enabled()
+        assert aggregates._SANITIZE_HOOK is sanitize._on_merge
+
+    def test_environment_variable_enables_at_import(self):
+        code = "import repro.sanitize as s; print(s.enabled())"
+        for value, expected in (("1", "True"), ("0", "False")):
+            completed = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True,
+                env={
+                    "PYTHONPATH": str(SRC),
+                    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                    "REPRO_SANITIZE": value,
+                },
+            )
+            assert completed.returncode == 0, completed.stderr
+            assert completed.stdout.strip() == expected
+
+
+class TestMergeChecks:
+    def test_overlapping_merge_raises_double_count_violation(
+        self, clean_sanitizer
+    ):
+        function = SumAggregate()
+        a = function.lift(5, 1.0)
+        b = function.merge(function.lift(5, 1.0), function.lift(6, 2.0))
+        with pytest.raises(sanitize.DoubleCountViolation) as caught:
+            function.merge(a, b)
+        violation = caught.value.violation
+        assert violation.kind == "double-count"
+        assert "5" in violation.detail
+
+    def test_violation_is_also_the_protocols_double_count_error(
+        self, clean_sanitizer
+    ):
+        function = SumAggregate()
+        with pytest.raises(DoubleCountError):
+            function.merge(function.lift(1, 1.0), function.lift(1, 1.0))
+
+    def test_compose_context_attributes_member_round_phase(
+        self, clean_sanitizer
+    ):
+        function = SumAggregate()
+        with pytest.raises(sanitize.DoubleCountViolation) as caught:
+            with sanitize.composing(member=7, round_number=3, phase=2):
+                function.merge(function.lift(1, 1.0), function.lift(1, 1.0))
+        violation = caught.value.violation
+        assert (violation.member, violation.round, violation.phase) == (
+            7, 3, 2,
+        )
+        report = violation.report()
+        assert "member 7" in report and "phase 2" in report
+
+    def test_count_channel_drift_is_rejected(self, clean_sanitizer):
+        function = AverageAggregate()
+        # Payload claims two votes, the mask covers one: a smuggled
+        # double count that disjointness alone cannot see.
+        drifted = AggregateState(payload=(5.0, 2), members=frozenset({1}))
+        with pytest.raises(sanitize.SanitizerError) as caught:
+            function.merge(drifted, function.lift(2, 1.0))
+        assert caught.value.violation.kind == "count-channel"
+
+    def test_disjoint_merges_pass(self, clean_sanitizer):
+        function = AverageAggregate()
+        merged = function.merge(function.lift(1, 1.0), function.lift(2, 3.0))
+        assert merged.covers() == 2
+
+
+class TestComposeChecks:
+    VOTES = {1: 1.0, 2: 2.0, 3: 4.0}
+
+    def test_mass_conservation_catches_tampered_payload(
+        self, clean_sanitizer
+    ):
+        function = SumAggregate()
+        sanitize.begin_run(self.VOTES, function)
+        tampered = AggregateState(
+            payload=99.0, members=frozenset(self.VOTES)
+        )
+        with pytest.raises(sanitize.SanitizerError) as caught:
+            sanitize.check_compose(
+                _StubProcess(node_id=2, function=function), 4, 2, tampered
+            )
+        violation = caught.value.violation
+        assert violation.kind == "mass-conservation"
+        assert (violation.member, violation.round, violation.phase) == (
+            2, 4, 2,
+        )
+
+    def test_exact_mass_passes(self, clean_sanitizer):
+        function = SumAggregate()
+        sanitize.begin_run(self.VOTES, function)
+        good = AggregateState(payload=7.0, members=frozenset(self.VOTES))
+        sanitize.check_compose(_StubProcess(function=function), 0, 1, good)
+
+    def test_fold_order_float_drift_is_tolerated(self, clean_sanitizer):
+        function = SumAggregate()
+        sanitize.begin_run(self.VOTES, function)
+        drifted = AggregateState(
+            payload=7.0 * (1.0 + 1e-9), members=frozenset(self.VOTES)
+        )
+        sanitize.check_compose(_StubProcess(function=function), 0, 1, drifted)
+
+    def test_foreign_member_is_rejected(self, clean_sanitizer):
+        function = SumAggregate()
+        sanitize.begin_run(self.VOTES, function)
+        foreign = AggregateState(
+            payload=1.0, members=frozenset({1, 999})
+        )
+        with pytest.raises(sanitize.SanitizerError) as caught:
+            sanitize.check_compose(_StubProcess(function=function), 0, 1,
+                                   foreign)
+        violation = caught.value.violation
+        assert violation.kind == "foreign-member"
+        assert "999" in violation.detail
+
+
+class TestPhaseClock:
+    def test_monotone_stepping_passes(self, clean_sanitizer):
+        process = _StubProcess(node_id=4)
+        sanitize.check_phase_bump(process, 0, 1, 2)
+        sanitize.check_phase_bump(process, 3, 2, 3)
+        assert process._sanitize_phase_clock == 3
+
+    def test_phase_skip_is_rejected(self, clean_sanitizer):
+        process = _StubProcess(node_id=4)
+        with pytest.raises(sanitize.SanitizerError) as caught:
+            sanitize.check_phase_bump(process, 0, 1, 3)
+        assert caught.value.violation.kind == "phase-clock"
+        assert caught.value.violation.member == 4
+
+    def test_regression_is_rejected(self, clean_sanitizer):
+        process = _StubProcess(node_id=4)
+        sanitize.check_phase_bump(process, 0, 1, 2)
+        with pytest.raises(sanitize.SanitizerError):
+            sanitize.check_phase_bump(process, 1, 1, 2)
+
+
+class TestPlantedDoubleCountInProtocol:
+    """The acceptance case: a planted double count inside a live run."""
+
+    def _figure1_world(self):
+        function = SumAggregate()
+        votes = {m: float(m) for m in range(1, 9)}
+        boxes = {7: 0, 3: 0, 8: 0, 6: 1, 5: 1, 2: 2, 4: 2, 1: 3}
+        hierarchy = GridBoxHierarchy(8, 2)
+        assignment = GridAssignment(hierarchy, votes, StaticHash(boxes))
+        return votes, function, assignment
+
+    def test_planted_double_count_names_member_and_phase(
+        self, clean_sanitizer
+    ):
+        votes, function, assignment = self._figure1_world()
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, GossipParams()
+        )
+        target = next(p for p in processes if p.node_id == 7)
+        original_on_start = target.on_start
+
+        def planted_on_start(ctx):
+            # A buggy protocol implementation re-admitting its own vote
+            # under a second key: classic double count.
+            original_on_start(ctx)
+            target.known["planted"] = function.lift(7, votes[7])
+
+        target.on_start = planted_on_start
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            rngs=RngRegistry(seed=0),
+            max_rounds=200,
+        )
+        engine.add_processes(processes)
+        with pytest.raises(sanitize.DoubleCountViolation) as caught:
+            engine.run()
+        violation = caught.value.violation
+        assert violation.kind == "double-count"
+        # The duplicate is detected at the first composing member it
+        # reaches — the planter itself or a box-mate it gossiped to.
+        assert violation.member in {3, 7, 8}
+        assert violation.phase == 1
+        assert violation.round is not None
+        assert "7" in violation.detail  # the double-counted member
+        assert f"member {violation.member}" in violation.report()
+        assert "phase 1" in violation.report()
+
+    def test_untampered_run_passes_under_sanitizer(self, clean_sanitizer):
+        votes, function, assignment = self._figure1_world()
+        sanitize.begin_run(votes, function)
+        processes = build_hierarchical_gossip_group(
+            votes, function, assignment, GossipParams()
+        )
+        engine = SimulationEngine(
+            network=Network(max_message_size=1 << 20),
+            rngs=RngRegistry(seed=0),
+            max_rounds=200,
+        )
+        engine.add_processes(processes)
+        engine.run()
+        assert all(p.result is not None for p in processes)
+
+
+class TestRunnerIntegration:
+    CONFIG = RunConfig(n=24, k=2, seed=11)
+
+    def test_run_once_installs_and_clears_ground_truth(
+        self, clean_sanitizer
+    ):
+        result = run_once(self.CONFIG)
+        assert result.report.mean_completeness >= 0.0
+        assert sanitize._GROUND_TRUTH is None  # end_run ran
+
+    def test_results_identical_with_and_without_sanitizer(
+        self, clean_sanitizer
+    ):
+        sanitize.disable()
+        plain = run_once(self.CONFIG)
+        sanitize.enable()
+        checked = run_once(self.CONFIG)
+        assert plain.true_value == checked.true_value
+        assert plain.rounds == checked.rounds
+        assert plain.messages_sent == checked.messages_sent
+        assert plain.bytes_sent == checked.bytes_sent
+        assert plain.report.per_member == checked.report.per_member
+        assert (
+            plain.report.mean_completeness
+            == checked.report.mean_completeness
+        )
