@@ -24,6 +24,12 @@ Canonical workloads:
   serial vs parallel.
 * ``single_n4096``      — one large hierarchical run (N=4096), the pure
   simulator hot path (no parallelism involved).
+* ``n8192``             — two seeded runs at N=8192/K=8 executed
+  in-process, the large-N regime where `GridAssignment` construction
+  and per-round bookkeeping dominate; the two runs share one cached
+  assignment, so this workload tracks both the raw hot path and the
+  large-N caching.  Same size under ``--quick`` on purpose: shrinking
+  it would measure a different regime.
 
 Usage::
 
@@ -203,6 +209,30 @@ def bench_single(quick: bool) -> dict:
     }
 
 
+def bench_large(quick: bool) -> dict:
+    """Time the N=8192 regime: two seeded runs, one cached assignment.
+
+    Runs in-process (``jobs=1``) so the second run can reuse the
+    memoized ``GridAssignment`` the way ``Sweep``/``ParallelRunner``
+    workers do; the checksum pins the numbers against the goldens.
+    """
+    configs = [with_params(n=8192, k=8, seed=0).with_seed(offset)
+               for offset in range(2)]
+    start = time.perf_counter()
+    results = run_many(configs, jobs=1)
+    seconds = time.perf_counter() - start
+    return {
+        "workload": "n8192",
+        "config": {"n": 8192, "k": 8, "seeds": [0, 1], "ucastl": 0.25,
+                   "pf": 0.001, "total_runs": len(configs)},
+        "seconds": round(seconds, 3),
+        "rounds": [r.rounds for r in results],
+        "messages_sent": sum(r.messages_sent for r in results),
+        "incompleteness": max(r.incompleteness for r in results),
+        "checksum": _checksum(results),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -241,6 +271,12 @@ def main(argv=None) -> int:
     entry = bench_single(args.quick)
     print(f"[bench]   {entry['workload']}: {entry['seconds']}s "
           f"({entry['messages_sent']} messages)", flush=True)
+    entries.append(entry)
+    print("[bench] n8192 large-N workload ...", flush=True)
+    entry = bench_large(args.quick)
+    print(f"[bench]   {entry['workload']}: {entry['seconds']}s "
+          f"({entry['messages_sent']} messages, "
+          f"checksum {entry['checksum']})", flush=True)
     entries.append(entry)
 
     record = {

@@ -27,6 +27,7 @@ from repro.core.messages import ID_SIZE
 from repro.core.protocol import AggregationProcess
 from repro.sim.engine import Context
 from repro.sim.network import Message
+from repro.sim.sampling import BlockedSampler
 
 __all__ = ["FlatGossipMessage", "FlatGossipProcess", "build_flat_gossip_group"]
 
@@ -65,6 +66,7 @@ class FlatGossipProcess(AggregationProcess):
         self.full_state = full_state
         self.known: dict[int, AggregateState] = {}
         self._rounds_done = 0
+        self._sampler: BlockedSampler | None = None
 
     def on_start(self, ctx: Context) -> None:
         self.known = {self.node_id: self.own_state()}
@@ -77,15 +79,19 @@ class FlatGossipProcess(AggregationProcess):
 
     def on_round(self, ctx: Context) -> None:
         if self.peers and self.known:
-            rng = ctx.rng_for("gossip")
+            sampler = self._sampler
+            if sampler is None:
+                sampler = self._sampler = BlockedSampler(
+                    ctx.rng_for("gossip")
+                )
             count = min(self.fanout, len(self.peers))
-            gossipees = rng.choice(len(self.peers), size=count, replace=False)
+            gossipees = sampler.pick_distinct(len(self.peers), count)
             keys = list(self.known)
             for index in gossipees:
                 if self.full_state:
                     batch = tuple(self.known.items())
                 else:
-                    key = keys[rng.integers(len(keys))]
+                    key = keys[sampler.index(len(keys))]
                     batch = ((key, self.known[key]),)
                 packet = FlatGossipMessage(batch)
                 ctx.send(self.peers[index], packet, size=packet.wire_size())

@@ -157,10 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the determinism/invariant static-analysis rules",
         description=(
-            "Repo-specific AST lint (REP001-REP005): raw RNG outside "
+            "Repo-specific AST lint (REP001-REP006): raw RNG outside "
             "RngRegistry, wall-clock calls in sim packages, unordered "
-            "set iteration, truthiness-vs-is-None on containers, and "
-            "mutable shared state.  Exit 0 = clean, 1 = violations, "
+            "set iteration, truthiness-vs-is-None on containers, "
+            "mutable shared state, and float sort keys without a "
+            "stable tie-break.  Exit 0 = clean, 1 = violations, "
             "2 = usage error.  See docs/STATIC_ANALYSIS.md."
         ),
     )

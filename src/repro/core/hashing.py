@@ -47,6 +47,17 @@ class HashFunction:
         box = int(value * num_boxes)
         return min(box, num_boxes - 1)
 
+    def cache_key(self) -> tuple | None:
+        """A hashable value capturing this hash's placement, or ``None``.
+
+        Two instances with equal, non-``None`` cache keys must assign
+        every member to the same box; ``None`` (the default) opts out of
+        assignment memoization (see ``gridbox.shared_dense_assignment``)
+        — the right answer whenever placement depends on unhashable or
+        mutable state.
+        """
+        return None
+
 
 class FairHash(HashFunction):
     """Uniform hash of the member identifier (salted SHA-256 → [0, 1))."""
@@ -59,6 +70,9 @@ class FairHash(HashFunction):
             f"{self.salt}:{int(member_id)}".encode()
         ).digest()
         return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def cache_key(self) -> tuple:
+        return ("fair", self.salt)
 
     def __repr__(self) -> str:
         return f"FairHash(salt={self.salt})"
@@ -161,6 +175,9 @@ class CidrHash(HashFunction):
         universe = 1 << self.bits
         address = int(member_id) % universe
         return address / universe
+
+    def cache_key(self) -> tuple:
+        return ("cidr", self.bits)
 
     def __repr__(self) -> str:
         return f"CidrHash(bits={self.bits})"

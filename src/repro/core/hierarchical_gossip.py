@@ -29,10 +29,10 @@ contact rate ``b >= 4`` (Theorem 1; see :mod:`repro.analysis.epidemic`).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Any
 
 import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
@@ -41,6 +41,7 @@ from repro.core.messages import GossipBatch, GossipValue
 from repro.core.protocol import AggregationProcess
 from repro.sim.engine import Context
 from repro.sim.network import Message
+from repro.sim.sampling import BlockedSampler
 
 __all__ = [
     "GossipParams",
@@ -226,9 +227,19 @@ class HierarchicalGossipProcess(AggregationProcess):
         #: phase -> (shared member tuple of my subtree, my index in it);
         #: index is None for partial views (tuple then excludes me).
         self._peers_cache: dict[int, tuple[tuple[int, ...], int | None]] = {}
-        #: Cached per-process gossip stream (stable generator object from
-        #: the run's RngRegistry; avoids a registry lookup every round).
-        self._gossip_rng: Any = None
+        #: Cached per-process gossip sampler (block-drawn doubles over
+        #: the stable per-member stream from the run's RngRegistry;
+        #: avoids a registry lookup every round).
+        self._sampler: BlockedSampler | None = None
+        #: Monotone counter bumped on every mutation of ``known``; lets
+        #: the batch payload (and its wire size) be reused across rounds
+        #: in which nothing new arrived.
+        self._known_version = 0
+        #: (version, payload, wire size) of the last batch built, or None.
+        self._batch_cache: tuple[int, GossipBatch, int] | None = None
+        #: (phase, verdict) memo for :meth:`_is_representative` — the
+        #: role is stable for the whole phase, so hash it once.
+        self._rep_cache: tuple[int, bool] | None = None
         # -- hardening state (all zero when the knobs are off) ----------
         #: Messages admitted for the *current* phase (observed-delivery
         #: signal for the adaptive deadline).
@@ -336,6 +347,7 @@ class HierarchicalGossipProcess(AggregationProcess):
     # -- engine callbacks ---------------------------------------------------
     def on_start(self, ctx: Context) -> None:
         self.known = {self.node_id: self.own_state()}
+        self._known_version += 1
         self._start_round = max(ctx.round, self.start_round)
 
     def _accept(
@@ -349,6 +361,10 @@ class HierarchicalGossipProcess(AggregationProcess):
             bucket[key] = state
         elif self.params.prefer_coverage and state.covers() > current.covers():
             bucket[key] = state
+        else:
+            return
+        if bucket is self.known:
+            self._known_version += 1
 
     def on_message(self, ctx: Context, message: Message) -> None:
         payload = message.payload
@@ -431,7 +447,8 @@ class HierarchicalGossipProcess(AggregationProcess):
         budget = params.extension_budget(self.rounds_per_phase)
         if self._phase_extension >= budget:
             return False
-        if self.known.keys() >= self._expected_keys(self.phase):
+        expected = self._expected_keys(self.phase)
+        if len(self.known) >= len(expected) and self.known.keys() >= expected:
             return False  # nothing missing: the timeout compose is exact
         expected = params.fanout_m * max(1, self.phase_rounds)
         if self._phase_received * 2 >= expected:
@@ -442,20 +459,20 @@ class HierarchicalGossipProcess(AggregationProcess):
 
     # -- protocol steps -------------------------------------------------------
     def _batch_entries(
-        self, rng
+        self, sampler: BlockedSampler | None
     ) -> tuple[tuple[object, AggregateState], ...]:
         """Up to ``max_batch`` current-phase values for one message.
 
-        A random subset when over the cap (given an rng); the first
+        A random subset when over the cap (given a sampler); the first
         ``cap`` entries otherwise (push-pull replies, which need no
         randomness — the requester asked for whatever we have).
         """
         cap = self.params.max_batch or self.assignment.hierarchy.k
         entries = list(self.known.items())
         if len(entries) > cap:
-            if rng is not None:
-                subset = rng.choice(len(entries), size=cap, replace=False)
-                entries = [entries[int(i)] for i in subset]
+            if sampler is not None:
+                subset = sampler.pick_distinct(len(entries), cap)
+                entries = [entries[i] for i in subset]
             else:
                 entries = entries[:cap]
         return tuple(entries)
@@ -466,18 +483,22 @@ class HierarchicalGossipProcess(AggregationProcess):
         Phase 1 always gossips (votes exist nowhere else); in later
         phases a deterministic hash of (member, phase) selects the
         configured fraction — deterministic so the role is stable for
-        the whole phase and consistent across runs with the same seed.
+        the whole phase and consistent across runs with the same seed
+        (which also makes it memoizable per phase).
         """
         fraction = self.params.representative_fraction
         if fraction >= 1.0 or self.phase == 1:
             return True
-        import hashlib
-
+        cached = self._rep_cache
+        if cached is not None and cached[0] == self.phase:
+            return cached[1]
         digest = hashlib.sha256(
             f"rep:{self.node_id}:{self.phase}".encode()
         ).digest()
         draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
-        return draw < fraction
+        verdict = draw < fraction
+        self._rep_cache = (self.phase, verdict)
+        return verdict
 
     def _retransmit_due(self) -> bool:
         """Bounded final-phase retransmission with exponential backoff.
@@ -500,32 +521,46 @@ class HierarchicalGossipProcess(AggregationProcess):
         pool_size = len(pool) - (1 if own_index is not None else 0)
         if pool_size < 1 or not self.known:
             return
-        rng = self._gossip_rng
-        if rng is None:
-            rng = self._gossip_rng = ctx.rng_for("gossip")
+        sampler = self._sampler
+        if sampler is None:
+            sampler = self._sampler = BlockedSampler(ctx.rng_for("gossip"))
         count = min(self.params.fanout_m, pool_size)
         picks = (
-            rng.choice(pool_size, size=count, replace=False)
+            sampler.pick_distinct(pool_size, count)
             if count < pool_size
             else range(pool_size)
         )
         if self.params.batch_values:
-            payload: GossipBatch | GossipValue = GossipBatch(
-                self.phase, self._batch_entries(rng)
-            )
-            size = payload.wire_size()  # invariant across the picks
+            # Reuse the batch (and its wire size) while ``known`` is
+            # unchanged — stream-safe because a batch within the cap
+            # consumes no randomness either way.
+            cached = self._batch_cache
+            if cached is not None and cached[0] == self._known_version:
+                payload: GossipBatch | GossipValue = cached[1]
+                size = cached[2]
+            else:
+                payload = GossipBatch(
+                    self.phase, self._batch_entries(sampler)
+                )
+                size = payload.wire_size()  # invariant across the picks
+                cap = self.params.max_batch or self.assignment.hierarchy.k
+                self._batch_cache = (
+                    (self._known_version, payload, size)
+                    if len(self.known) <= cap
+                    else None  # over the cap: fresh random subset per round
+                )
         else:
             keys = list(self.known)
             if not self.params.independent_values:
-                chosen = keys[rng.integers(len(keys))]
+                chosen = keys[sampler.index(len(keys))]
         for pick in picks:
             # Map a draw over the pool-minus-self onto pool indices.
-            index = int(pick)
+            index = pick
             if own_index is not None and index >= own_index:
                 index += 1
             if not self.params.batch_values:
                 key = (
-                    keys[rng.integers(len(keys))]
+                    keys[sampler.index(len(keys))]
                     if self.params.independent_values
                     else chosen
                 )
@@ -556,13 +591,17 @@ class HierarchicalGossipProcess(AggregationProcess):
         # and staying keeps serving values to stragglers.
         if self.phase >= self.num_phases:
             return self._deadline_reached(ctx)
-        # Early bump-up (step II(b)) for intermediate phases.
-        if (
-            self.params.early_bump
-            and self.known.keys() >= self._expected_keys(self.phase)
-            and self._values_fully_cover()
-        ):
-            return True
+        # Early bump-up (step II(b)) for intermediate phases.  The length
+        # comparison is a necessary condition for the superset check and
+        # skips the frozenset comparison on the common still-waiting case.
+        if self.params.early_bump:
+            expected = self._expected_keys(self.phase)
+            if (
+                len(self.known) >= len(expected)
+                and self.known.keys() >= expected
+                and self._values_fully_cover()
+            ):
+                return True
         if self.phase_rounds < self.rounds_per_phase + self._phase_extension:
             return False
         # Timeout hit: adaptive deadlines may grant bounded extra rounds
@@ -613,6 +652,7 @@ class HierarchicalGossipProcess(AggregationProcess):
                 ctx.terminate()
                 return
             self.known = {completed_subtree: composed}
+            self._known_version += 1
             for key, state in self._future.pop(self.phase, {}).items():
                 self._accept(self.known, key, state)
 

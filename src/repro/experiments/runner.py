@@ -18,7 +18,11 @@ from repro.baselines.flat_gossip import build_flat_gossip_group
 from repro.baselines.flood import build_flood_group
 from repro.baselines.leader_election import build_leader_election_group
 from repro.core.aggregates import get_aggregate
-from repro.core.gridbox import GridAssignment, GridBoxHierarchy
+from repro.core.gridbox import (
+    GridAssignment,
+    GridBoxHierarchy,
+    shared_dense_assignment,
+)
 from repro.core.hashing import FairHash
 from repro.core.hierarchical_gossip import (
     GossipParams,
@@ -146,10 +150,15 @@ def _build_processes(
     function = get_aggregate(config.aggregate)
     slack = _HORIZON_SLACK
     if config.protocol in ("hierarchical_gossip", "leader_election"):
-        hierarchy = GridBoxHierarchy(_hierarchy_size(config), config.k)
-        assignment = GridAssignment(
-            hierarchy, votes, FairHash(salt=config.hash_salt)
+        # Memoized across runs: the runner's membership is always the
+        # dense ``range(n)`` and FairHash placement is captured by its
+        # salt, so repeated seeded runs of a sweep point share one
+        # assignment instead of re-hashing N members per run.
+        assignment = shared_dense_assignment(
+            _hierarchy_size(config), config.k, config.n,
+            FairHash(salt=config.hash_salt),
         )
+        hierarchy = assignment.hierarchy
     if config.protocol == "hierarchical_gossip":
         params = GossipParams(
             fanout_m=config.fanout_m,

@@ -1,4 +1,4 @@
-"""Repo-specific determinism and invariant lint rules (REP001-REP005).
+"""Repo-specific determinism and invariant lint rules (REP001-REP006).
 
 Each rule is a small, self-contained AST pass.  They encode the two
 load-bearing guarantees of this reproduction — byte-determinism across
@@ -28,6 +28,12 @@ end-to-end golden tests:
 * **REP005** — mutable default arguments and class-body mutable literal
   attributes: both are shared across calls / instances and leak state
   between runs, breaking run-to-run reproducibility.
+* **REP006** — ``sorted``/``.sort`` with a lambda key that provably
+  yields a bare float in the simulation-critical packages: Python's
+  sort is stable, so members with *equal* float keys keep their input
+  order — which is exactly the history/hash-order dependence REP003
+  guards against, smuggled in through a tie.  A tuple key with a stable
+  secondary component breaks ties deterministically and is exempt.
 
 Every rule supports the ``# repro-lint: ok`` / ``# repro-lint: ok[CODE]``
 inline pragma and the suppression file (see :mod:`repro.lint.engine`).
@@ -629,12 +635,102 @@ class MutableSharedStateRule(Rule):
                 )
 
 
+#: Call targets whose return value is certainly a float (REP006 core).
+#: Deliberately conservative: only builtins/``math`` members with a
+#: float-only return type.  ``abs``/``max`` preserve int-ness and are
+#: excluded; unresolvable names are assumed non-float.
+_FLOAT_RETURNING_CALLS = frozenset({
+    "float",
+    "math.sqrt", "math.exp", "math.expm1", "math.pow",
+    "math.log", "math.log2", "math.log10", "math.log1p",
+    "math.sin", "math.cos", "math.tan", "math.atan2",
+    "math.fabs", "math.fsum", "fsum", "math.hypot", "math.dist",
+    "math.degrees", "math.radians", "math.copysign", "math.fmod",
+})
+
+
+def _is_sort_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Name):
+        return node.func.id == "sorted"
+    return isinstance(node.func, ast.Attribute) and node.func.attr == "sort"
+
+
+class FloatKeySortRule(Rule):
+    """REP006: float-only sort keys without a deterministic tie-break."""
+
+    code = "REP006"
+    summary = "float-valued sort key with no stable tie-break component"
+
+    #: Narrower than REP002's scope on purpose: these are the packages
+    #: whose sort orders can reach RNG draws and protocol messages.
+    _SCOPE = frozenset({"sim", "core", "chaos"})
+
+    def applies_to(self, path: str) -> bool:
+        return bool(self._SCOPE.intersection(_path_segments(path)))
+
+    def check(self, tree, path):
+        imports = ImportMap(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not _is_sort_call(node):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "key" or not isinstance(
+                    keyword.value, ast.Lambda
+                ):
+                    continue
+                body = keyword.value.body
+                if isinstance(body, ast.Tuple):
+                    continue  # composite key: ties broken by later parts
+                if self._certainly_float(body, imports):
+                    yield self.violation(
+                        keyword.value, path,
+                        "sort key is a bare float — the sort is stable, so "
+                        "elements with *equal* keys keep their input order "
+                        "and the result becomes history/hash-order "
+                        "dependent; return a tuple adding a stable "
+                        "secondary component, e.g. "
+                        "key=lambda m: (score(m), m.node_id)",
+                    )
+
+    def _certainly_float(self, node: ast.expr, imports: ImportMap) -> bool:
+        """Whether ``node`` syntactically must evaluate to a float.
+
+        A lint heuristic, not type inference: division, float literals,
+        and known float-returning calls propagate through arithmetic,
+        unary ops and conditional expressions.  Anything unprovable
+        (names, attributes, subscripts) counts as non-float, keeping
+        false positives at zero at the cost of missing annotated-float
+        lookups — the corpus pins exactly what fires.
+        """
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True  # true division yields float for int inputs
+            return (
+                self._certainly_float(node.left, imports)
+                or self._certainly_float(node.right, imports)
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._certainly_float(node.operand, imports)
+        if isinstance(node, ast.IfExp):
+            return (
+                self._certainly_float(node.body, imports)
+                or self._certainly_float(node.orelse, imports)
+            )
+        if isinstance(node, ast.Call):
+            full = imports.resolve(node.func) or _dotted_name(node.func)
+            return full is not None and full in _FLOAT_RETURNING_CALLS
+        return False
+
+
 ALL_RULES: tuple[Rule, ...] = (
     RawRngRule(),
     WallClockRule(),
     UnorderedIterationRule(),
     TruthinessOnOptionalRule(),
     MutableSharedStateRule(),
+    FloatKeySortRule(),
 )
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.sanitize as sanitize
 from repro.core.aggregates import get_aggregate
 from repro.core.gridbox import GridAssignment, GridBoxHierarchy
 from repro.core.hashing import FairHash
@@ -154,7 +155,18 @@ class MonitoringSession:
             ),
         )
         engine.add_processes(processes)
-        engine.run()
+        # Install the epoch's votes as sanitizer ground truth (when the
+        # sanitizer is active): without it the mass-conservation and
+        # foreign-member checks silently degrade to mask-only mode for
+        # every monitoring epoch.  Draws nothing and mutates nothing, so
+        # epoch results are identical either way.
+        if sanitize.ACTIVE:
+            sanitize.begin_run(votes, self.function)
+        try:
+            engine.run()
+        finally:
+            if sanitize.ACTIVE:
+                sanitize.end_run()
 
         report = measure_completeness(processes, group_size=len(votes))
         true_value = self.function.finalize(self.function.over(votes))

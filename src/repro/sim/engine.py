@@ -48,6 +48,11 @@ class Process:
     it crashes (decided by the failure model) and *active* until it calls
     :meth:`Context.terminate`; terminated processes stop taking rounds but
     still receive (and by default ignore) late messages.
+
+    Once registered with an engine, liveness/termination transitions must
+    go through the engine (the failure model and :meth:`Context.terminate`)
+    — the engine maintains O(1) live/active counters on those paths, so
+    flipping ``alive``/``terminated`` behind its back desynchronizes them.
     """
 
     def __init__(self, node_id: int):
@@ -141,7 +146,11 @@ class Context:
         assert self.current is not None
         if not self.current.terminated:
             self.current.terminated = True
-            self._engine._trace("terminate", self.current.node_id)
+            engine = self._engine
+            engine._terminated_count += 1
+            if self.current.alive:
+                engine._active_count -= 1
+            engine._trace("terminate", self.current.node_id)
 
 
 class SimulationEngine:
@@ -177,6 +186,17 @@ class SimulationEngine:
         self.round = 0
         self.processes: dict[int, Process] = {}
         self.stats = EngineStats()
+        # O(1) liveness bookkeeping, updated by add_process /
+        # _apply_failures / Context.terminate (see the Process docstring):
+        # replaces the per-round full scans in _all_done and the metrics
+        # snapshot, which dominate at N >= 8192.
+        self._alive_count = 0
+        self._terminated_count = 0
+        self._active_count = 0  # alive and not terminated
+        #: Cached round-step iteration order (registration order, same as
+        #: the previous per-round ``list(...)`` copy); invalidated by
+        #: add_process.
+        self._round_order: tuple[Process, ...] | None = None
         self._inbox: list[tuple[int, int, Message]] = []  # (round, seq, msg) heap
         self._seq = 0
         self._scheduled: list[tuple[int, int, Callable[[], None]]] = []
@@ -199,6 +219,13 @@ class SimulationEngine:
         if process.node_id in self.processes:
             raise ValueError(f"duplicate node id {process.node_id}")
         self.processes[process.node_id] = process
+        if process.alive:
+            self._alive_count += 1
+            if not process.terminated:
+                self._active_count += 1
+        if process.terminated:
+            self._terminated_count += 1
+        self._round_order = None
 
     def add_processes(self, processes: Iterable[Process]) -> None:
         for process in processes:
@@ -278,6 +305,8 @@ class SimulationEngine:
             self._dispatch(message)
 
     def _apply_failures(self) -> None:
+        if self.failure_model.is_null:
+            return  # draws nothing, crashes nobody: skip the scans
         alive_ids = [p.node_id for p in self.processes.values() if p.alive]
         crashed, recovered = self.failure_model.step(
             self.round, alive_ids,
@@ -291,6 +320,9 @@ class SimulationEngine:
             process = self.processes[node_id]
             if process.alive:
                 process.alive = False
+                self._alive_count -= 1
+                if not process.terminated:
+                    self._active_count -= 1
                 self.stats.crashes += 1
                 self._trace("crash", node_id)
                 self._ctx.current = process
@@ -300,17 +332,36 @@ class SimulationEngine:
             process = self.processes[node_id]
             if not process.alive:
                 process.alive = True
+                self._alive_count += 1
+                if not process.terminated:
+                    self._active_count += 1
                 self.stats.recoveries += 1
                 self._trace("recover", node_id)
                 self._ctx.current = process
                 process.on_recover(self._ctx)
                 self._ctx.current = None
 
+    # -- liveness queries (O(1); see the Process docstring) -------------
+    @property
+    def live_count(self) -> int:
+        """Processes currently alive."""
+        return self._alive_count
+
+    @property
+    def active_count(self) -> int:
+        """Processes alive and not yet terminated."""
+        return self._active_count
+
+    @property
+    def terminated_count(self) -> int:
+        """Processes that called :meth:`Context.terminate`."""
+        return self._terminated_count
+
     def _all_done(self) -> bool:
         if self.failure_model.may_recover:
             # Crashed processes may come back; only termination counts.
-            return all(p.terminated for p in self.processes.values())
-        return all(p.terminated or not p.alive for p in self.processes.values())
+            return self._terminated_count == len(self.processes)
+        return self._active_count == 0
 
     # -- run -----------------------------------------------------------
     def run(self, until: Callable[[], bool] | None = None) -> EngineStats:
@@ -332,7 +383,10 @@ class SimulationEngine:
             self._apply_failures()
             self._deliver_due()
             self.round_bus.emit(self.round)
-            for process in list(self.processes.values()):
+            order = self._round_order
+            if order is None:
+                order = self._round_order = tuple(self.processes.values())
+            for process in order:
                 if process.alive and not process.terminated:
                     self._ctx.current = process
                     process.on_round(self._ctx)

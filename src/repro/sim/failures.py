@@ -33,6 +33,12 @@ class FailureModel:
     #: progress (models that recover keep the run alive to its horizon).
     may_recover = False
 
+    #: Whether this model provably never crashes or recovers anyone.
+    #: The engine skips the per-round liveness scans (and the ``step``
+    #: call) entirely for null models; a null model must not consume
+    #: randomness, so skipping it is stream-identical.
+    is_null = False
+
     def step(
         self,
         round_number: int,
@@ -46,6 +52,8 @@ class FailureModel:
 
 class NoFailures(FailureModel):
     """Fail-free group (used for correctness tests and Figure 11)."""
+
+    is_null = True
 
 
 class CrashWithoutRecovery(FailureModel):

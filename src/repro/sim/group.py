@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.sim.rng import RngRegistry
+from repro.sim.sampling import BlockedSampler
 
 __all__ = ["GroupMembership", "CompleteViews", "PartialViews"]
 
@@ -89,13 +88,18 @@ class PartialViews:
         self.membership = membership
         self.view_size = view_size
         self._views: dict[int, tuple[int, ...]] = {}
-        rng = rngs.stream("views")
-        all_ids = np.array(membership.member_ids)
+        sampler = BlockedSampler(rngs.stream("views"))
+        all_ids = membership.member_ids
+        take = min(view_size - 1, n - 1)
         for member_id in membership:
-            others = all_ids[all_ids != member_id]
-            take = min(view_size - 1, len(others))
-            chosen = rng.choice(others, size=take, replace=False) if take else []
-            view = sorted({member_id, *map(int, chosen)})
+            # Sample from the pool minus self: draw indices over n-1 and
+            # shift past the member's own slot (no per-member id array).
+            own = membership.index_of(member_id)
+            picks = sampler.pick_distinct(n - 1, take) if take else ()
+            chosen = (
+                all_ids[i + 1] if i >= own else all_ids[i] for i in picks
+            )
+            view = sorted({member_id, *chosen})
             self._views[member_id] = tuple(view)
 
     def view_of(self, member_id: int) -> tuple[int, ...]:

@@ -49,18 +49,15 @@ class RoundMetrics:
             sender: count - self._last_per_sender.get(sender, 0)
             for sender, count in per_sender.items()
         }
-        live = sum(1 for p in engine.processes.values() if p.alive)
-        active = sum(
-            1 for p in engine.processes.values()
-            if p.alive and not p.terminated
-        )
         self.samples.append(RoundSample(
             round=engine.round,
             messages_sent=stats.sent - self._last_sent,
             bytes_sent=stats.bytes_sent - self._last_bytes,
             messages_dropped=stats.dropped - self._last_dropped,
-            live_members=live,
-            active_members=active,
+            # The engine maintains these O(1) (previously full per-round
+            # membership scans — a large-N hot path when attached).
+            live_members=engine.live_count,
+            active_members=engine.active_count,
             max_sends_by_member=max(deltas.values(), default=0),
         ))
         self._last_sent = stats.sent

@@ -29,8 +29,13 @@ class TestGoldenRuns:
         result = run_once(with_params(n=100, ucastl=0.6, pf=0.0, seed=1))
         assert result.rounds == 15
         assert 0.5 < result.completeness <= 1.0
-        # exact completeness pinned to 6 decimals
-        assert result.completeness == pytest.approx(0.7390, abs=5e-4)
+        # Exact completeness pinned to 4 decimals.  Re-baselined (from
+        # 0.7390) when gossip-target selection moved from
+        # Generator.choice to the block-drawn Floyd sampler
+        # (repro.sim.sampling): the canonical stream consumption
+        # changed once, intentionally — the sampler's own goldens pin
+        # the new scheme against scalar reference draws.
+        assert result.completeness == pytest.approx(0.7772, abs=5e-4)
 
     def test_partition_point_seed2(self):
         result = run_once(

@@ -23,6 +23,7 @@ CORPUS_COUNTS = {
     "REP003": 3,
     "REP004": 3,
     "REP005": 5,
+    "REP006": 4,
 }
 
 

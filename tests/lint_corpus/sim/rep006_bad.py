@@ -1,0 +1,17 @@
+"""REP006 fixture: float sort keys with no deterministic tie-break.
+
+Each sort below orders members by a bare float expression.  Python's
+sort is stable, so members whose keys compare *equal* keep their input
+order — the result then depends on iteration history rather than on
+the data.
+"""
+
+import math
+
+
+def rank(scores: dict[int, float]) -> list[int]:
+    members = list(scores)
+    members.sort(key=lambda m: scores[m] / 2)                   # REP006
+    halved = sorted(members, key=lambda m: 0.5 * scores[m])     # REP006
+    rooted = sorted(halved, key=lambda m: math.sqrt(scores[m]))  # REP006
+    return sorted(rooted, key=lambda m: -float(scores[m]))      # REP006

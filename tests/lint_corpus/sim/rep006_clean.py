@@ -1,0 +1,16 @@
+"""REP006 clean twin: tuple keys give every float sort a stable tie-break.
+
+The fix is always the same shape: keep the float as the primary
+component and append a stable, totally-ordered secondary one (here the
+member id) so equal floats cannot fall back to input order.
+"""
+
+import math
+
+
+def rank(scores: dict[int, float]) -> list[int]:
+    members = list(scores)
+    members.sort(key=lambda m: (scores[m] / 2, m))
+    halved = sorted(members, key=lambda m: (0.5 * scores[m], m))
+    rooted = sorted(halved, key=lambda m: (math.sqrt(scores[m]), m))
+    return sorted(rooted, key=lambda m: m)  # int key: comparisons exact

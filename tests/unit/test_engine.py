@@ -166,6 +166,58 @@ class TestScheduling:
             engine.schedule(4, lambda: None)
 
 
+class TestLivenessCounters:
+    """The O(1) alive/active/terminated counters vs. an O(N) recount.
+
+    The metrics snapshot path reads these every round at N >= 8192, so
+    they must track every transition source: add, crash, recover and
+    terminate.
+    """
+
+    @staticmethod
+    def _recount(engine):
+        alive = sum(1 for p in engine.processes.values() if p.alive)
+        terminated = sum(
+            1 for p in engine.processes.values() if p.terminated
+        )
+        active = sum(
+            1 for p in engine.processes.values()
+            if p.alive and not p.terminated
+        )
+        return alive, active, terminated
+
+    def _check(self, engine):
+        assert (
+            engine.live_count, engine.active_count, engine.terminated_count
+        ) == self._recount(engine)
+
+    def test_counters_after_add(self):
+        engine = _engine()
+        engine.add_processes([Echo(i, rounds=3) for i in range(5)])
+        self._check(engine)
+        assert engine.live_count == 5
+        assert engine.terminated_count == 0
+
+    def test_counters_track_every_round(self):
+        engine = _engine(
+            failures=ScheduledFailures(
+                crash_at={1: [0, 1], 3: [2]}, recover_at={4: [1]}
+            )
+        )
+        engine.add_processes([Echo(i, rounds=i + 2) for i in range(6)])
+        engine.run(until=lambda: self._check(engine))
+        self._check(engine)
+        assert engine.live_count == 6 - 2  # 0 and 2 stay crashed
+
+    def test_all_terminated_stops_via_counter(self):
+        engine = _engine()
+        engine.add_processes([Echo(i, rounds=2) for i in range(4)])
+        engine.run()
+        self._check(engine)
+        assert engine.terminated_count == 4
+        assert engine.active_count == 0
+
+
 class TestDeterminism:
     def _run(self, seed):
         engine = SimulationEngine(

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.gridbox import GridAssignment, GridBoxHierarchy, SubtreeId
+from repro.core.gridbox import (
+    GridAssignment,
+    GridBoxHierarchy,
+    SubtreeId,
+    shared_dense_assignment,
+)
 from repro.core.hashing import FairHash, StaticHash
 
 
@@ -176,3 +181,75 @@ class TestSubtreeId:
         assert s.prefix_length == 2
         assert s.prefix_value == 3
         assert hash(s) == hash((2, 3))
+
+
+class TestIntegerExactLog:
+    """Hierarchy sizing at and around exact powers of K.
+
+    ``digits`` is round(log_K(N / K)); at N = K**m the log is exactly
+    m - 1, and one member more or less must not move it (the nearest
+    half-integer boundary is sqrt(K) away).  The old float-log formula
+    could be off by one near these points; the integer version is exact
+    by construction, which these pins enforce.
+    """
+
+    KS = (2, 3, 4, 5, 7, 16)
+
+    @pytest.mark.parametrize("k", KS)
+    def test_exact_powers(self, k):
+        m = 2
+        while k ** m <= 1_000_000:
+            h = GridBoxHierarchy(k ** m, k)
+            assert h.digits == m - 1, (k, m)
+            assert h.num_boxes == k ** (m - 1)
+            assert h.num_phases == m
+            m += 1
+
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("offset", [-1, +1])
+    def test_neighbours_of_exact_powers(self, k, offset):
+        m = 2
+        while k ** m <= 1_000_000:
+            h = GridBoxHierarchy(k ** m + offset, k)
+            assert h.digits == max(1, m - 1), (k, m, offset)
+            m += 1
+
+    def test_half_integer_ties_round_to_even(self):
+        # K = 4: N = 8 has log_4(N/4) = 0.5 exactly, N = 32 has 1.5.
+        # round() rounds halves to even; the integer log must match.
+        assert GridBoxHierarchy(8, 4).digits == 1   # round(0.5) = 0 -> min 1
+        assert GridBoxHierarchy(32, 4).digits == 2  # round(1.5) = 2
+
+
+class TestSharedDenseAssignment:
+    def test_cache_hit_returns_same_object(self):
+        a = shared_dense_assignment(64, 4, 64, FairHash(salt=3))
+        b = shared_dense_assignment(64, 4, 64, FairHash(salt=3))
+        assert a is b
+
+    def test_distinct_keys_get_distinct_assignments(self):
+        base = shared_dense_assignment(64, 4, 64, FairHash(salt=3))
+        assert shared_dense_assignment(64, 4, 64, FairHash(salt=4)) is not base
+        assert shared_dense_assignment(64, 2, 64, FairHash(salt=3)) is not base
+        assert shared_dense_assignment(72, 4, 72, FairHash(salt=3)) is not base
+
+    def test_cached_assignment_matches_direct_construction(self):
+        cached = shared_dense_assignment(64, 4, 64, FairHash(salt=9))
+        direct = GridAssignment(
+            GridBoxHierarchy(64, 4), range(64), FairHash(salt=9)
+        )
+        assert cached.member_ids == direct.member_ids
+        assert [cached.box_of(m) for m in range(64)] == [
+            direct.box_of(m) for m in range(64)
+        ]
+
+    def test_uncacheable_hash_builds_fresh_assignments(self):
+        # StaticHash has no cache_key (placement lives in a mutable
+        # table), so every call must construct a new assignment.
+        table = {m: m % 16 for m in range(64)}
+        a = shared_dense_assignment(64, 4, 64, StaticHash(table))
+        b = shared_dense_assignment(64, 4, 64, StaticHash(table))
+        assert a is not b
+        assert [a.box_of(m) for m in range(64)] == [
+            b.box_of(m) for m in range(64)
+        ]

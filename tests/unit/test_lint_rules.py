@@ -1,4 +1,4 @@
-"""Per-rule tests for the ``repro lint`` static checks (REP001–REP005).
+"""Per-rule tests for the ``repro lint`` static checks (REP001–REP006).
 
 Each rule is exercised twice: against the committed fixture corpus in
 ``tests/lint_corpus`` (violation counts pinned, clean twins must stay
@@ -23,6 +23,7 @@ CORPUS_EXPECTATIONS = [
     ("rep003_bad.py", "REP003", 3),
     ("rep004_bad.py", "REP004", 3),
     ("rep005_bad.py", "REP005", 5),
+    ("sim/rep006_bad.py", "REP006", 4),
 ]
 
 CLEAN_FILES = [
@@ -31,6 +32,7 @@ CLEAN_FILES = [
     "rep003_clean.py",
     "rep004_clean.py",
     "rep005_clean.py",
+    "sim/rep006_clean.py",
     "suppressed.py",
 ]
 
@@ -271,3 +273,51 @@ class TestMutableSharedStateRule:
                 return log
             """
         ) == []
+
+
+class TestFloatKeySortRule:
+    def test_flags_provably_float_keys(self):
+        assert lint(
+            """
+            import math
+
+            def order(xs, w):
+                xs.sort(key=lambda x: w[x] / 3)
+                a = sorted(xs, key=lambda x: 0.5 * w[x])
+                b = sorted(xs, key=lambda x: math.log(w[x]))
+                c = sorted(xs, key=lambda x: -float(w[x]))
+                return a, b, c
+            """
+        ) == ["REP006"] * 4
+
+    def test_tuple_key_is_clean(self):
+        assert lint(
+            """
+            def order(xs, w):
+                return sorted(xs, key=lambda x: (w[x] / 3, x))
+            """
+        ) == []
+
+    def test_unprovable_keys_are_clean(self):
+        # Names/attributes/subscripts may be floats, but the rule only
+        # fires on syntactically certain floats (zero false positives).
+        assert lint(
+            """
+            def order(xs, w):
+                a = sorted(xs, key=lambda x: w[x])
+                b = sorted(xs, key=lambda x: x.score)
+                c = sorted(xs, key=lambda x: abs(x))
+                return a, b, c
+            """
+        ) == []
+
+    def test_scope_is_sim_core_chaos_only(self):
+        source = """
+            def order(xs, w):
+                return sorted(xs, key=lambda x: w[x] / 3)
+            """
+        for directory in ("sim", "core", "chaos"):
+            path = f"src/repro/{directory}/module.py"
+            assert lint(source, path=path) == ["REP006"], directory
+        assert lint(source, path="src/repro/experiments/module.py") == []
+        assert lint(source, path="src/repro/baselines/module.py") == []

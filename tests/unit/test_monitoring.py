@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import sanitize
 from repro.monitoring import EpochResult, MonitoringSession, Trigger
 
 
@@ -92,3 +93,67 @@ class TestMonitoringSession:
     def test_validation(self):
         with pytest.raises(ValueError):
             MonitoringSession(0, constant_votes())
+
+
+class TestSanitizerWiring:
+    """Epochs must install sanitizer ground truth (the ROADMAP gap).
+
+    Without ``begin_run`` the mass-conservation check silently degrades
+    to mask-only mode for every monitoring epoch — a planted payload
+    corruption would pass.  These tests pin both halves: the epoch
+    installs exactly its vote map, and a corrupted payload is caught.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _sanitizer_on(self):
+        was_active = sanitize.ACTIVE
+        if not was_active:
+            sanitize.enable()
+        yield
+        if not was_active:
+            sanitize.disable()
+
+    def test_epoch_installs_its_vote_map(self, monkeypatch):
+        installed = []
+        real_begin = sanitize.begin_run
+
+        def recording_begin(votes, function):
+            installed.append(dict(votes))
+            real_begin(votes, function)
+
+        monkeypatch.setattr(sanitize, "begin_run", recording_begin)
+        session = MonitoringSession(
+            group_size=16, sample_votes=constant_votes(5.0), seed=4
+        )
+        session.run_epochs(2)
+        assert len(installed) == 2
+        assert all(set(votes) == set(range(16)) for votes in installed)
+
+    def test_planted_mass_violation_is_caught(self, monkeypatch):
+        session = MonitoringSession(
+            group_size=16, sample_votes=constant_votes(5.0), seed=4
+        )
+        real_lift = session.function.lift
+
+        def lying_lift(member_id, vote):
+            state = real_lift(member_id, vote)
+            if member_id != 0:
+                return state
+            # Member 0 claims more mass than its ground-truth vote:
+            # average payload is (sum, count) — inflate the sum only,
+            # so the count channel stays self-consistent and only the
+            # ground-truth mass check can notice.
+            total, count = state.payload
+            return type(state)((total + 3.0, count), state.members)
+
+        monkeypatch.setattr(session.function, "lift", lying_lift)
+        with pytest.raises(sanitize.SanitizerError) as excinfo:
+            session.run_epoch()
+        assert excinfo.value.violation.kind == "mass-conservation"
+
+    def test_ground_truth_cleared_after_epoch(self):
+        session = MonitoringSession(
+            group_size=16, sample_votes=constant_votes(5.0), seed=4
+        )
+        session.run_epoch()
+        assert sanitize._GROUND_TRUTH is None

@@ -1,0 +1,118 @@
+"""Unit tests for the block-drawn sampler (``repro.sim.sampling``).
+
+The load-bearing property is the stream-compatibility guarantee: the
+values a :class:`BlockedSampler` produces for a fixed seed are
+independent of the block size, including the unvectorized scalar
+reference path (``block=0``), because ``Generator.random(n)`` consumes
+the bit stream exactly like ``n`` scalar calls.  Everything the
+protocols draw — gossip targets, batch subsets, partial views — reduces
+to these primitives, so pinning them here pins the whole stream.
+"""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.sampling import DEFAULT_BLOCK, BlockedSampler
+
+
+def stream(seed=0):
+    return RngRegistry(seed).stream("sampling-test")
+
+
+class TestStreamCompatibility:
+    @pytest.mark.parametrize("block", [1, 2, 7, 31, DEFAULT_BLOCK])
+    def test_uniforms_identical_to_scalar_reference(self, block):
+        reference = BlockedSampler(stream(), block=0)
+        blocked = BlockedSampler(stream(), block=block)
+        for __ in range(3 * DEFAULT_BLOCK + 5):
+            assert blocked.uniform() == reference.uniform()
+
+    def test_uniforms_identical_to_raw_generator_calls(self):
+        rng = stream()
+        expected = [rng.random() for __ in range(50)]
+        sampler = BlockedSampler(stream())
+        assert [sampler.uniform() for __ in range(50)] == expected
+
+    @pytest.mark.parametrize("block", [1, 3, DEFAULT_BLOCK])
+    def test_pick_distinct_identical_across_block_sizes(self, block):
+        reference = BlockedSampler(stream(seed=7), block=0)
+        blocked = BlockedSampler(stream(seed=7), block=block)
+        for __ in range(200):
+            assert blocked.pick_distinct(10, 3) == reference.pick_distinct(
+                10, 3
+            )
+
+    def test_mixed_primitives_stay_aligned(self):
+        """Interleaving uniform/index/pick_distinct never desyncs."""
+        reference = BlockedSampler(stream(seed=3), block=0)
+        blocked = BlockedSampler(stream(seed=3), block=5)
+        for size in range(1, 40):
+            assert blocked.index(size) == reference.index(size)
+            assert blocked.pick_distinct(size, size // 2) == (
+                reference.pick_distinct(size, size // 2)
+            )
+            assert blocked.uniform() == reference.uniform()
+
+
+class TestDrawAccounting:
+    def test_uniform_and_index_consume_one_double(self):
+        sampler = BlockedSampler(stream())
+        sampler.uniform()
+        assert sampler.consumed == 1
+        sampler.index(17)
+        assert sampler.consumed == 2
+
+    @pytest.mark.parametrize("n,k", [(10, 0), (10, 3), (10, 10), (1, 1)])
+    def test_pick_distinct_consumes_exactly_k(self, n, k):
+        sampler = BlockedSampler(stream())
+        sampler.pick_distinct(n, k)
+        assert sampler.consumed == k
+
+
+class TestPickDistinct:
+    def test_returns_k_distinct_in_range(self):
+        sampler = BlockedSampler(stream(seed=11))
+        for __ in range(500):
+            picks = sampler.pick_distinct(12, 5)
+            assert len(picks) == 5
+            assert len(set(picks)) == 5
+            assert all(0 <= p < 12 for p in picks)
+
+    def test_k_equals_n_is_a_permutation_of_range(self):
+        sampler = BlockedSampler(stream())
+        assert sorted(sampler.pick_distinct(6, 6)) == list(range(6))
+
+    def test_k_zero_is_empty(self):
+        assert BlockedSampler(stream()).pick_distinct(9, 0) == []
+
+    def test_every_subset_reachable(self):
+        """All C(5, 2) = 10 subsets occur over a long seeded run."""
+        sampler = BlockedSampler(stream(seed=2))
+        seen = {
+            frozenset(sampler.pick_distinct(5, 2)) for __ in range(500)
+        }
+        assert len(seen) == 10
+
+    def test_index_is_uniformly_spread(self):
+        sampler = BlockedSampler(stream(seed=5))
+        counts = [0] * 4
+        for __ in range(4000):
+            counts[sampler.index(4)] += 1
+        assert min(counts) > 800  # fair to well within 20% of 1000
+
+
+class TestValidation:
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            BlockedSampler(stream(), block=-1)
+
+    def test_index_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            BlockedSampler(stream()).index(0)
+
+    def test_pick_distinct_bounds_checked(self):
+        sampler = BlockedSampler(stream())
+        with pytest.raises(ValueError):
+            sampler.pick_distinct(3, 4)
+        with pytest.raises(ValueError):
+            sampler.pick_distinct(3, -1)
