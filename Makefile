@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint bench bench-quick bench-figures chaos-smoke figures examples clean
+.PHONY: install test lint bench bench-quick bench-figures chaos-smoke trace-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,6 +30,17 @@ chaos-smoke:      ## small deterministic chaos-campaign matrix + bound check
 		--campaign paper-iid --campaign crash-storm \
 		--campaign rack-failure --campaign partition-heal \
 		--n 64 --runs 2 --seed 0 --jobs auto --assert-bound
+
+trace-smoke:      ## run one traced aggregation, validate the JSONL, check layering
+	PYTHONPATH=src python -m repro trace --n 64 --ucastl 0.4 --seed 1 \
+		--out /tmp/repro-trace-smoke.jsonl --explain 0
+	PYTHONPATH=src python -m repro trace --validate /tmp/repro-trace-smoke.jsonl
+	@if grep -rnE "(^|[^A-Za-z_.])(from[[:space:]]+repro\.obs|import[[:space:]]+repro\.obs)" src/repro/sim src/repro/core src/repro/chaos; then \
+		echo "ERROR: repro.obs imported from sim/core/chaos (obs must stay a pure consumer)"; \
+		exit 1; \
+	else \
+		echo "obs layering ok: sim/core/chaos never import repro.obs"; \
+	fi
 
 figures:          ## quick CLI pass over the analytic figures
 	python -m repro fig4

@@ -192,14 +192,27 @@ def bench_sweep(kind: str, jobs: int, quick: bool) -> dict:
     }
 
 
-def bench_single(quick: bool) -> dict:
-    """Time one large hierarchical run: the raw simulator hot path."""
+def bench_single(quick: bool, profile: bool = False) -> dict:
+    """Time one large hierarchical run: the raw simulator hot path.
+
+    ``--profile`` attaches the opt-in section profiler from
+    ``repro.obs`` (build / simulate / measure wall-clock split).  The
+    aggregation numbers are identical either way; only ``seconds`` picks
+    up the instrumentation overhead, which is why profiling is opt-in.
+    """
     n = 1024 if quick else 4096
     config = with_params(n=n, seed=3)
+    telemetry = None
+    if profile:
+        from repro.obs.profiling import SectionProfiler
+        from repro.obs.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry.compact()
+        telemetry.profiler = SectionProfiler()
     start = time.perf_counter()
-    result = run_once(config)
+    result = run_once(config, telemetry=telemetry)
     seconds = time.perf_counter() - start
-    return {
+    entry = {
         "workload": f"single_n{n}",
         "config": {"n": n, "seed": 3, "ucastl": 0.25, "pf": 0.001, "k": 4},
         "seconds": round(seconds, 3),
@@ -207,6 +220,10 @@ def bench_single(quick: bool) -> dict:
         "messages_sent": result.messages_sent,
         "incompleteness": result.incompleteness,
     }
+    if telemetry is not None and telemetry.profiler is not None:
+        entry["profile"] = telemetry.profiler.as_records()
+        print(telemetry.profiler.report(), flush=True)
+    return entry
 
 
 def bench_large(quick: bool) -> dict:
@@ -253,6 +270,11 @@ def main(argv=None) -> int:
         help="exit nonzero when any workload regresses >20% against the "
              "latest comparable history record (use on stable hardware)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attach the repro.obs section profiler to the single large "
+             "run and print its build/simulate/measure wall-clock split",
+    )
     args = parser.parse_args(argv)
     # The harness default is one worker per core ("auto"), not the library
     # default of serial — a benchmark run wants the machine saturated.
@@ -268,7 +290,7 @@ def main(argv=None) -> int:
               f"bit-identical ok", flush=True)
         entries.append(entry)
     print("[bench] single large run ...", flush=True)
-    entry = bench_single(args.quick)
+    entry = bench_single(args.quick, profile=args.profile)
     print(f"[bench]   {entry['workload']}: {entry['seconds']}s "
           f"({entry['messages_sent']} messages)", flush=True)
     entries.append(entry)

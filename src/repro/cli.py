@@ -82,6 +82,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one aggregation")
     _add_run_arguments(run_parser)
+    run_parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the result as a repro-run/1 JSON record "
+             "('-' = stdout; see docs/OBSERVABILITY.md)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one aggregation with phase tracing and explain it",
+        description=(
+            "Execute one configured run with full telemetry attached "
+            "(protocol phase events, engine events, per-round metrics), "
+            "print a phase-by-phase report, optionally export the "
+            "repro-trace/1 JSONL (--out), explain a member's "
+            "(in)completeness (--explain), query an existing trace "
+            "(--input) or validate one (--validate).  Tracing never "
+            "changes results: a traced run is byte-identical to an "
+            "untraced one."
+        ),
+    )
+    _add_run_arguments(trace_parser)
+    from repro.obs.cli import add_trace_arguments
+
+    add_trace_arguments(trace_parser)
 
     show_parser = sub.add_parser(
         "show-hierarchy", help="render the Grid Box Hierarchy for a group"
@@ -148,8 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-bound", action="store_true",
         help="exit non-zero if any applicable cell misses 1 - 1/N",
     )
-    chaos_parser.add_argument("--json", default=None, metavar="FILE",
-                              help="write the full report as JSON")
+    chaos_parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the full repro-robustness/1 report as JSON "
+             "('-' = stdout)",
+    )
     chaos_parser.add_argument("--csv", default=None, metavar="FILE",
                               help="write the report as CSV")
 
@@ -177,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     monitor_parser.add_argument("--ucastl", type=float, default=0.25)
     monitor_parser.add_argument("--pf", type=float, default=0.001)
     monitor_parser.add_argument("--seed", type=int, default=0)
+    monitor_parser.add_argument(
+        "--trigger-above", type=float, default=None, metavar="T",
+        help="count members whose epoch estimate exceeds this threshold "
+             "(the paper's release-coolant actuation pattern)",
+    )
     return parser
 
 
@@ -202,8 +234,9 @@ def _run_figure(figure_id: str, args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_single(args: argparse.Namespace) -> int:
-    config = with_params(
+def _config_from_args(args: argparse.Namespace):
+    """Build the :class:`RunConfig` shared by ``run`` and ``trace``."""
+    return with_params(
         n=args.n,
         k=args.k,
         protocol=args.protocol,
@@ -220,6 +253,10 @@ def _run_single(args: argparse.Namespace) -> int:
         start_spread=args.start_spread,
         n_estimate=args.n_estimate,
     )
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
     result = run_once(config)
     print(f"protocol            : {config.protocol}")
     print(f"group size N        : {config.n}")
@@ -231,6 +268,20 @@ def _run_single(args: argparse.Namespace) -> int:
     print(f"messages sent       : {result.messages_sent}")
     print(f"messages dropped    : {result.messages_dropped}")
     print(f"crashes             : {result.crashes}")
+    if args.json:
+        import json
+
+        from repro.obs.export import run_result_record
+
+        text = json.dumps(
+            run_result_record(result), indent=2, sort_keys=True
+        ) + "\n"
+        if args.json == "-":
+            print(text, end="")
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.json}")
     return 0
 
 
@@ -274,9 +325,12 @@ def _run_chaos(args: argparse.Namespace) -> int:
     )
     print(report.render())
     if args.json:
-        with open(args.json, "w") as handle:
-            handle.write(report.to_json())
-        print(f"wrote {args.json}")
+        if args.json == "-":
+            print(report.to_json(), end="")
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(report.to_json())
+            print(f"wrote {args.json}")
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(report.to_csv())
@@ -288,7 +342,7 @@ def _run_chaos(args: argparse.Namespace) -> int:
 
 
 def _run_monitor(args: argparse.Namespace) -> int:
-    from repro.monitoring import MonitoringSession
+    from repro.monitoring import MonitoringSession, Trigger
 
     def sample(epoch, members, rng):
         return {m: 20.0 + epoch + float(rng.normal(0, 1)) for m in members}
@@ -297,14 +351,25 @@ def _run_monitor(args: argparse.Namespace) -> int:
         group_size=args.n, sample_votes=sample,
         ucastl=args.ucastl, pf=args.pf, seed=args.seed,
     )
-    print(f"{'epoch':>5} {'alive':>6} {'true':>8} {'estimate':>9} "
-          f"{'completeness':>12} {'msgs':>7}")
+    trigger = None
+    if args.trigger_above is not None:
+        trigger = Trigger("above", args.trigger_above, direction="above")
+        session.add_trigger(trigger)
+    header = (f"{'epoch':>5} {'alive':>6} {'true':>8} {'estimate':>9} "
+              f"{'completeness':>12} {'msgs':>7} {'timeouts':>8}")
+    if trigger is not None:
+        header += f" {'fired':>6}"
+    print(header)
     for result in session.run_epochs(args.epochs):
-        print(
+        line = (
             f"{result.epoch:>5} {result.group_size:>6} "
             f"{result.true_value:>8.3f} {result.mean_estimate:>9.3f} "
-            f"{result.mean_completeness:>12.5f} {result.messages:>7}"
+            f"{result.mean_completeness:>12.5f} {result.messages:>7} "
+            f"{result.phase_timeouts:>8}"
         )
+        if trigger is not None:
+            line += f" {result.trigger_counts[trigger.name]:>6}"
+        print(line)
     return 0
 
 
@@ -317,6 +382,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         return _run_single(args)
+    if args.command == "trace":
+        from repro.obs.cli import run_trace
+
+        return run_trace(args, _config_from_args)
     if args.command == "show-hierarchy":
         return _show_hierarchy(args)
     if args.command == "chaos":

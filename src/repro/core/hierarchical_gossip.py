@@ -38,6 +38,12 @@ import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.gridbox import GridAssignment
 from repro.core.messages import GossipBatch, GossipValue
+from repro.core.observe import (
+    PhaseEvent,
+    PhaseSink,
+    format_key,
+    format_subtree,
+)
 from repro.core.protocol import AggregationProcess
 from repro.sim.engine import Context
 from repro.sim.network import Message
@@ -197,15 +203,23 @@ class HierarchicalGossipProcess(AggregationProcess):
         view: Iterable[int],
         params: GossipParams,
         start_round: int = 0,
+        phase_sink: PhaseSink | None = None,
     ):
         """``start_round`` models multicast-wave initiation (Section 2):
         the paper assumes simultaneous start "but our results apply in
         cases such as a multicast being used for protocol initiation" —
         a member whose start is delayed buffers incoming gossip and joins
         when its wave arrives, with its deadline measured from its own
-        start."""
+        start.
+
+        ``phase_sink`` (see :mod:`repro.core.observe`) receives typed
+        protocol events — phase entries, early vs timeout bump-ups,
+        finalization.  ``None`` (the default) emits nothing and costs
+        nothing; emission draws no randomness, so traced runs are
+        byte-identical to untraced ones."""
         super().__init__(node_id, vote, function)
         self.start_round = int(start_round)
+        self.phase_sink = phase_sink
         self.assignment = assignment
         self.view = tuple(view)
         self.params = params
@@ -344,11 +358,91 @@ class HierarchicalGossipProcess(AggregationProcess):
         self._peers_cache[phase] = result
         return result
 
+    # -- observation (all no-ops without a phase sink; no randomness) -----
+    def _subtree_label(self, phase: int) -> str:
+        return format_subtree(
+            self.assignment.hierarchy,
+            self.assignment.subtree_of(self.node_id, phase),
+        )
+
+    def _emit_phase_enter(self, ctx: Context) -> None:
+        sink = self.phase_sink
+        if sink is None:
+            return
+        sink.emit(PhaseEvent(
+            "phase_enter", self.node_id, ctx.round, self.phase,
+            subtree=self._subtree_label(self.phase),
+        ))
+        # Phase 1 is not an election — every member gossips its vote.
+        if (
+            self.params.representative_fraction < 1.0
+            and self.phase > 1
+            and self._is_representative()
+        ):
+            sink.emit(PhaseEvent(
+                "representative_elected", self.node_id, ctx.round,
+                self.phase, subtree=self._subtree_label(self.phase),
+            ))
+
+    def _emit_bump(self, ctx: Context) -> None:
+        """Record *why* this phase ended: early bump-up or timeout.
+
+        ``subtree_complete`` fires whenever the member knew every
+        expected value (with full child coverage); intermediate phases
+        additionally get exactly one of ``bump_up_early`` (advanced
+        before the nominal deadline, step II(b)) or ``bump_up_timeout``
+        (``missing`` lists the keys that never arrived).  The final
+        phase always serves until the global deadline, so it only emits
+        ``bump_up_timeout`` when values are actually missing — the
+        timeout counters stay a pure failure signal.
+        """
+        sink = self.phase_sink
+        if sink is None:
+            return
+        subtree = self._subtree_label(self.phase)
+        expected = self._expected_keys(self.phase)
+        missing = expected - self.known.keys()
+        if not missing and self._values_fully_cover():
+            sink.emit(PhaseEvent(
+                "subtree_complete", self.node_id, ctx.round, self.phase,
+                subtree=subtree,
+            ))
+        final = self.phase >= self.num_phases
+        timed_out = (
+            self.phase_rounds >= self.rounds_per_phase
+            + self._phase_extension
+        )
+        if missing and (timed_out or final):
+            hierarchy = self.assignment.hierarchy
+            sink.emit(PhaseEvent(
+                "bump_up_timeout", self.node_id, ctx.round, self.phase,
+                subtree=subtree,
+                missing=tuple(sorted(
+                    format_key(hierarchy, key) for key in missing
+                )),
+            ))
+        elif not final:
+            sink.emit(PhaseEvent(
+                "bump_up_early" if not timed_out else "bump_up_timeout",
+                self.node_id, ctx.round, self.phase, subtree=subtree,
+            ))
+
+    def _emit_finalize(self, ctx: Context) -> None:
+        sink = self.phase_sink
+        if sink is None:
+            return
+        sink.emit(PhaseEvent(
+            "finalize", self.node_id, ctx.round, self.num_phases,
+            subtree=self._subtree_label(self.num_phases),
+            coverage=self.coverage_fraction,
+        ))
+
     # -- engine callbacks ---------------------------------------------------
     def on_start(self, ctx: Context) -> None:
         self.known = {self.node_id: self.own_state()}
         self._known_version += 1
         self._start_round = max(ctx.round, self.start_round)
+        self._emit_phase_enter(ctx)
 
     def _accept(
         self, bucket: dict[object, AggregateState], key: object,
@@ -627,6 +721,7 @@ class HierarchicalGossipProcess(AggregationProcess):
     def _maybe_advance(self, ctx: Context) -> None:
         """Step II(b): compose and bump up, cascading if buffers allow."""
         while self.result is None and self._phase_complete(ctx):
+            self._emit_bump(ctx)
             composed = self._compose_known(ctx)
             completed_subtree = self.assignment.subtree_of(
                 self.node_id, self.phase
@@ -649,12 +744,14 @@ class HierarchicalGossipProcess(AggregationProcess):
                 self.coverage_fraction = composed.covers() / max(
                     1, len(self.assignment.member_ids)
                 )
+                self._emit_finalize(ctx)
                 ctx.terminate()
                 return
             self.known = {completed_subtree: composed}
             self._known_version += 1
             for key, state in self._future.pop(self.phase, {}).items():
                 self._accept(self.known, key, state)
+            self._emit_phase_enter(ctx)
 
 
 def build_hierarchical_gossip_group(
@@ -664,6 +761,7 @@ def build_hierarchical_gossip_group(
     params: GossipParams | None = None,
     view_of: Callable[[int], Iterable[int]] | None = None,
     start_round_of: Callable[[int], int] | None = None,
+    phase_sink: PhaseSink | None = None,
 ) -> list[HierarchicalGossipProcess]:
     """Create one protocol process per member.
 
@@ -671,6 +769,8 @@ def build_hierarchical_gossip_group(
     vote map's ids), the paper's simulation setting.  ``start_round_of``
     models multicast-wave initiation: per-member start delays (default:
     everyone starts at round 0, the paper's simultaneous start).
+    ``phase_sink`` is shared by all members (protocol-phase tracing, see
+    :mod:`repro.core.observe`); ``None`` emits nothing.
     """
     params = params if params is not None else GossipParams()
     member_ids = tuple(votes)
@@ -694,6 +794,7 @@ def build_hierarchical_gossip_group(
             view=view_of(member_id),
             params=params,
             start_round=start_round_of(member_id),
+            phase_sink=phase_sink,
         )
         for member_id, vote in votes.items()
     ]

@@ -66,6 +66,12 @@ class RunConfig:
     vote_low: float = 0.0
     vote_high: float = 100.0
     seed: int = 0
+    #: Attach compact run telemetry (``RunTelemetry.compact()``): phase /
+    #: bump-up / timeout counters collected during the run and returned
+    #: on ``RunResult.telemetry`` as a picklable summary — the flag (not
+    #: an object) so it survives the ``ParallelRunner`` worker boundary.
+    #: Never changes results: telemetry draws no randomness.
+    collect_telemetry: bool = False
 
     def with_seed(self, seed: int) -> "RunConfig":
         return replace(self, seed=seed)

@@ -35,6 +35,7 @@ from repro.analysis.epidemic import effective_contact_rate
 from repro.chaos import campaign_names, get_campaign
 from repro.experiments.parallel import run_many
 from repro.experiments.params import RunConfig, with_params
+from repro.obs.telemetry import TelemetrySummary, merge_summaries
 
 __all__ = [
     "RobustnessCell",
@@ -71,6 +72,10 @@ class RobustnessCell:
     #: True when this cell satisfies the theorem's preconditions (a
     #: paper-assumption campaign with K >= MIN_K and b >= MIN_B).
     bound_applies: bool
+    #: Merged phase/bump-up/timeout telemetry over the cell's runs,
+    #: collected inside the ``ParallelRunner`` workers (see
+    #: ``RunConfig.collect_telemetry``).
+    telemetry: TelemetrySummary | None = None
 
     @property
     def bound_holds(self) -> bool | None:
@@ -126,6 +131,12 @@ class RobustnessReport:
                     **asdict(cell),
                     "bound_holds": cell.bound_holds,
                     "degradation": cell.degradation,
+                    # The repro-trace/1 summary shape, not asdict's
+                    # tuple-pair encoding (shared with JSONL exports).
+                    "telemetry": (
+                        cell.telemetry.to_record()
+                        if cell.telemetry is not None else None
+                    ),
                 }
                 for cell in self.cells
             ],
@@ -136,17 +147,21 @@ class RobustnessReport:
         header = (
             "campaign,n,k,fanout_m,b,runs,mean_completeness,"
             "min_completeness,mean_coverage,mean_crashes,mean_recoveries,"
-            "bound,bound_applies,bound_holds,degradation"
+            "bound,bound_applies,bound_holds,degradation,"
+            "bump_up_early,bump_up_timeout,incomplete_finalizes"
         )
         rows = [header]
         for c in self.cells:
             holds = "" if c.bound_holds is None else str(c.bound_holds)
+            t = c.telemetry
             rows.append(
                 f"{c.campaign},{c.n},{c.k},{c.fanout_m},{c.b:.6f},{c.runs},"
                 f"{c.mean_completeness:.6f},{c.min_completeness:.6f},"
                 f"{c.mean_coverage:.6f},{c.mean_crashes:.3f},"
                 f"{c.mean_recoveries:.3f},{c.bound:.6f},"
-                f"{c.bound_applies},{holds},{c.degradation:.6f}"
+                f"{c.bound_applies},{holds},{c.degradation:.6f},"
+                + (f"{t.bump_up_early},{t.bump_up_timeout},"
+                   f"{t.incomplete_finalizes}" if t is not None else ",,")
             )
         return "\n".join(rows) + "\n"
 
@@ -175,6 +190,17 @@ class RobustnessReport:
             f"bound applies to {len(applicable)}/{len(self.cells)} cells; "
             f"{len(self.violations)} violation(s)"
         )
+        totals = merge_summaries(
+            [c.telemetry for c in self.cells if c.telemetry is not None]
+        )
+        if totals.runs:
+            lines.append(
+                f"phase telemetry ({totals.runs} runs): "
+                f"{totals.bump_up_early} early bump-up(s), "
+                f"{totals.bump_up_timeout} timeout(s), "
+                f"{totals.incomplete_finalizes}/{totals.finalize} "
+                f"finalize(s) incomplete"
+            )
         return "\n".join(lines)
 
 
@@ -223,6 +249,10 @@ def robustness_matrix(
                 adaptive_deadlines=adaptive_deadlines,
                 final_retransmit=final_retransmit,
                 seed=seed + run_index,
+                # Compact counters collected in the workers; merged per
+                # cell below so the report can attribute degradation to
+                # phase timeouts, not just final completeness.
+                collect_telemetry=True,
             ))
     results = run_many(configs, jobs=jobs)
     cells = []
@@ -251,6 +281,10 @@ def robustness_matrix(
             bound=1.0 - 1.0 / n,
             bound_applies=(
                 campaign.paper_assumptions and k >= MIN_K and b >= MIN_B
+            ),
+            telemetry=merge_summaries(
+                [r.telemetry for r in cell_results
+                 if r.telemetry is not None]
             ),
         ))
     return RobustnessReport(

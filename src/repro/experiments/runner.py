@@ -11,6 +11,7 @@ the measurements the paper reports.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.baselines.centralized import build_centralized_group
@@ -28,12 +29,15 @@ from repro.core.hierarchical_gossip import (
     GossipParams,
     build_hierarchical_gossip_group,
 )
+from repro.core.observe import PhaseSink
 from repro.core.protocol import (
     AggregationProcess,
     CompletenessReport,
     measure_completeness,
 )
 from repro.experiments.params import RunConfig
+from repro.obs.export import run_result_record
+from repro.obs.telemetry import RunTelemetry, TelemetrySummary
 from repro.sim.engine import SimulationEngine
 from repro.sim.failures import CrashWithoutRecovery, NoFailures
 from repro.sim.group import GroupMembership, PartialViews
@@ -80,6 +84,12 @@ class RunResult:
     #: to ``result.covers() / N`` for protocols that do not self-assess;
     #: ``nan`` when no member qualifies.
     mean_coverage: float = float("nan")
+    #: Compact telemetry summary (phase / bump-up / timeout counters),
+    #: populated when the run was telemetered — either
+    #: ``config.collect_telemetry`` or an explicit ``RunTelemetry`` passed
+    #: to :func:`run_once`.  Picklable, so it survives the
+    #: ``ParallelRunner`` worker boundary.
+    telemetry: TelemetrySummary | None = None
 
     @property
     def incompleteness(self) -> float:
@@ -144,7 +154,8 @@ def _gossip_round_budget(config: RunConfig) -> tuple[int, int]:
 
 
 def _build_processes(
-    config: RunConfig, votes: dict[int, float], rngs: RngRegistry
+    config: RunConfig, votes: dict[int, float], rngs: RngRegistry,
+    phase_sink: PhaseSink | None = None,
 ) -> tuple[list[AggregationProcess], int]:
     """Instantiate the configured protocol; returns (processes, max_rounds)."""
     function = get_aggregate(config.aggregate)
@@ -189,6 +200,7 @@ def _build_processes(
         processes = build_hierarchical_gossip_group(
             votes, function, assignment, params,
             view_of=view_of, start_round_of=start_round_of,
+            phase_sink=phase_sink,
         )
         rpp, phases = _gossip_round_budget(config)
         # Adaptive deadlines may lawfully borrow up to the per-phase
@@ -254,10 +266,25 @@ def _campaign_horizon(config: RunConfig, max_rounds: int) -> int:
     return max(1, max_rounds - _HORIZON_SLACK)
 
 
-def run_once(config: RunConfig) -> RunResult:
-    """Build the configured world, run it to completion, measure it."""
+def run_once(
+    config: RunConfig, telemetry: RunTelemetry | None = None,
+) -> RunResult:
+    """Build the configured world, run it to completion, measure it.
+
+    ``telemetry`` attaches a :class:`~repro.obs.telemetry.RunTelemetry`
+    to the run: the engine gets its tracer/metrics, hierarchical-gossip
+    processes its phase sink, and :meth:`RunTelemetry.finish` is called
+    with the run's identity so the trace can be exported self-contained.
+    When ``None`` but ``config.collect_telemetry`` is set, a compact
+    (counters-only) telemetry is attached instead — that path works
+    inside ``ParallelRunner`` workers, with the summary pickled back on
+    ``RunResult.telemetry``.  Either way the aggregation results are
+    byte-identical to an untelemetered run (golden-tested).
+    """
     from repro import sanitize
 
+    if telemetry is None and config.collect_telemetry:
+        telemetry = RunTelemetry.compact()
     rngs = RngRegistry(seed=config.seed)
     votes = _make_votes(config, rngs)
     function = get_aggregate(config.aggregate)
@@ -267,7 +294,7 @@ def run_once(config: RunConfig) -> RunResult:
         # mutates nothing, so results are identical with or without it.
         sanitize.begin_run(votes, function)
     try:
-        return _run_built(config, rngs, votes, function)
+        return _run_built(config, rngs, votes, function, telemetry)
     finally:
         if sanitize.ACTIVE:
             sanitize.end_run()
@@ -278,53 +305,72 @@ def _run_built(
     rngs: RngRegistry,
     votes: dict[int, float],
     function,
+    telemetry: RunTelemetry | None = None,
 ) -> RunResult:
     true_value = function.finalize(function.over(votes))
-    processes, max_rounds = _build_processes(config, votes, rngs)
-    compiled = None
-    if config.campaign is not None:
-        from repro.chaos import get_campaign
+    with telemetry.profile("build") if telemetry is not None else nullcontext():
+        processes, max_rounds = _build_processes(
+            config, votes, rngs,
+            phase_sink=(telemetry.phase_trace if telemetry is not None
+                        else None),
+        )
+        compiled = None
+        if config.campaign is not None:
+            from repro.chaos import get_campaign
 
-        compiled = get_campaign(config.campaign).compile(
-            horizon=_campaign_horizon(config, max_rounds),
-            base_loss=config.ucastl,
-            base_pf=config.pf,
-            box_groups=_box_groups(config, votes, processes),
-            max_message_size=config.max_message_size,
-            max_sends_per_round=config.max_sends_per_round,
+            compiled = get_campaign(config.campaign).compile(
+                horizon=_campaign_horizon(config, max_rounds),
+                base_loss=config.ucastl,
+                base_pf=config.pf,
+                box_groups=_box_groups(config, votes, processes),
+                max_message_size=config.max_message_size,
+                max_sends_per_round=config.max_sends_per_round,
+            )
+            network = compiled.network
+            failure_model = compiled.failure_model
+        else:
+            network = _make_network(config)
+            failure_model = _make_failures(config)
+        engine = SimulationEngine(
+            network=network,
+            failure_model=failure_model,
+            rngs=rngs,
+            max_rounds=max_rounds,
+            tracer=telemetry.tracer if telemetry is not None else None,
+            metrics=telemetry.metrics if telemetry is not None else None,
         )
-        network = compiled.network
-        failure_model = compiled.failure_model
-    else:
-        network = _make_network(config)
-        failure_model = _make_failures(config)
-    engine = SimulationEngine(
-        network=network,
-        failure_model=failure_model,
-        rngs=rngs,
-        max_rounds=max_rounds,
-    )
-    engine.add_processes(processes)
-    if compiled is not None:
-        compiled.install(engine)
-    engine.run()
-    report = measure_completeness(processes, group_size=config.n)
-    # Error is averaged over report.per_member's member set so the two
-    # survivor-relative metrics can never drift apart (see RunResult).
-    measured = report.per_member.keys()
-    errors = []
-    coverages = []
-    for process in processes:
-        if process.node_id not in measured:
-            continue
-        errors.append(
-            abs(process.function.finalize(process.result) - true_value)
+        engine.add_processes(processes)
+        if compiled is not None:
+            compiled.install(engine)
+    with telemetry.profile("simulate") if telemetry is not None else nullcontext():
+        engine.run()
+    with telemetry.profile("measure") if telemetry is not None else nullcontext():
+        report = measure_completeness(processes, group_size=config.n)
+        # Error is averaged over report.per_member's member set so the
+        # two survivor-relative metrics can never drift apart (see
+        # RunResult).
+        measured = report.per_member.keys()
+        errors = []
+        coverages = []
+        for process in processes:
+            if process.node_id not in measured:
+                continue
+            errors.append(
+                abs(process.function.finalize(process.result) - true_value)
+            )
+            coverage = getattr(process, "coverage_fraction", None)
+            if coverage is None:
+                coverage = process.result.covers() / config.n
+            coverages.append(coverage)
+    summary: TelemetrySummary | None = None
+    if telemetry is not None:
+        telemetry.finish(
+            config=config,
+            rounds=engine.stats.rounds_executed,
+            assignment=getattr(processes[0], "assignment", None),
         )
-        coverage = getattr(process, "coverage_fraction", None)
-        if coverage is None:
-            coverage = process.result.covers() / config.n
-        coverages.append(coverage)
-    return RunResult(
+        summary = telemetry.summary()
+    result = RunResult(
         config=config,
         report=report,
         rounds=engine.stats.rounds_executed,
@@ -338,7 +384,13 @@ def _run_built(
         recoveries=engine.stats.recoveries,
         mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
+        telemetry=summary,
     )
+    if telemetry is not None:
+        # Recorded after construction so the exported trace's ``result``
+        # record and the returned RunResult can never disagree.
+        telemetry.finish(result_record=run_result_record(result))
+    return result
 
 
 def incompleteness_samples(

@@ -31,6 +31,7 @@ from repro.experiments.params import RunConfig
 from repro.experiments.parallel import run_many
 from repro.experiments.reporting import TableResult
 from repro.experiments.runner import RunResult
+from repro.obs.telemetry import merge_summaries
 
 __all__ = ["Sweep"]
 
@@ -75,7 +76,7 @@ class Sweep:
         self, overrides: Mapping, results: Sequence[RunResult]
     ) -> dict:
         incompleteness = summarize([r.incompleteness for r in results])
-        return {
+        row = {
             **overrides,
             "incompleteness": incompleteness.mean,
             "ci_half_width": incompleteness.mean - incompleteness.low,
@@ -84,6 +85,17 @@ class Sweep:
             ).mean,
             "rounds": summarize([float(r.rounds) for r in results]).mean,
         }
+        if self._telemetered():
+            merged = merge_summaries(
+                [r.telemetry for r in results if r.telemetry is not None]
+            )
+            row["early_bumps"] = merged.bump_up_early
+            row["timeout_bumps"] = merged.bump_up_timeout
+        return row
+
+    def _telemetered(self) -> bool:
+        """Whether cells carry worker telemetry (extra table columns)."""
+        return self.base.collect_telemetry
 
     def run_cell(self, overrides: Mapping) -> dict:
         """Average ``runs`` seeded executions of one configuration."""
@@ -117,11 +129,13 @@ class Sweep:
         per_cell = [self._cell_configs(cell) for cell in cells]
         flat = [config for configs in per_cell for config in configs]
         results = run_many(flat, jobs=self.jobs if jobs is None else jobs)
+        metric_names = ["incompleteness", "ci_half_width", "messages",
+                        "rounds"]
+        if self._telemetered():
+            metric_names += ["early_bumps", "timeout_bumps"]
         table = TableResult(
             title=title,
-            headers=axis_names + [
-                "incompleteness", "ci_half_width", "messages", "rounds",
-            ],
+            headers=axis_names + metric_names,
         )
         cursor = 0
         for cell, configs in zip(cells, per_cell):

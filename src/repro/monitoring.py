@@ -29,7 +29,9 @@ from repro.core.hierarchical_gossip import (
     GossipParams,
     build_hierarchical_gossip_group,
 )
+from repro.core.observe import PhaseEvent, PhaseSink
 from repro.core.protocol import measure_completeness
+from repro.obs.phase import PhaseTrace
 from repro.sim.engine import SimulationEngine
 from repro.sim.failures import CrashWithoutRecovery, NoFailures
 from repro.sim.network import LossyNetwork
@@ -74,10 +76,25 @@ class EpochResult:
     messages: int
     #: trigger name -> number of surviving members whose estimate fired it
     trigger_counts: dict[str, int] = field(default_factory=dict)
+    #: ``bump_up_timeout`` events this epoch: members that hit a phase
+    #: deadline with child values still missing (the protocol's loss
+    #: signal, cheaper than re-deriving it from completeness).
+    phase_timeouts: int = 0
 
     @property
     def estimate_error(self) -> float:
         return abs(self.mean_estimate - self.true_value)
+
+
+class _TeeSink(PhaseSink):
+    """Forward every phase event to several sinks (internal + caller's)."""
+
+    def __init__(self, *sinks: PhaseSink):
+        self.sinks = sinks
+
+    def emit(self, event: PhaseEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
 
 
 class MonitoringSession:
@@ -121,8 +138,17 @@ class MonitoringSession:
     def alive_count(self) -> int:
         return len(self.members)
 
-    def run_epoch(self) -> EpochResult | None:
-        """Run one aggregation epoch; None if the group has died out."""
+    def run_epoch(
+        self, phase_sink: PhaseSink | None = None
+    ) -> EpochResult | None:
+        """Run one aggregation epoch; None if the group has died out.
+
+        ``phase_sink`` additionally receives every protocol phase event
+        (see :mod:`repro.core.observe`) — e.g. a
+        :class:`~repro.obs.phase.PhaseTrace` for full per-epoch traces.
+        Timeout counting for :attr:`EpochResult.phase_timeouts` happens
+        regardless; attaching a sink never changes epoch results.
+        """
         if not self.members:
             return None
         epoch = len(self.history)
@@ -139,8 +165,12 @@ class MonitoringSession:
             hierarchy, votes, FairHash(salt=self.seed * 1000 + epoch)
         )
         params = GossipParams(rounds_factor_c=self.rounds_factor_c)
+        counts = PhaseTrace(store_events=False)
+        sink: PhaseSink = (
+            counts if phase_sink is None else _TeeSink(counts, phase_sink)
+        )
         processes = build_hierarchical_gossip_group(
-            votes, self.function, assignment, params
+            votes, self.function, assignment, params, phase_sink=sink
         )
         engine = SimulationEngine(
             network=LossyNetwork(
@@ -194,16 +224,19 @@ class MonitoringSession:
             rounds=engine.round,
             messages=engine.network.stats.sent,
             trigger_counts=trigger_counts,
+            phase_timeouts=sum(counts.phase_timeouts.values()),
         )
         self.history.append(result)
         self.members = [p.node_id for p in processes if p.alive]
         return result
 
-    def run_epochs(self, count: int) -> list[EpochResult]:
+    def run_epochs(
+        self, count: int, phase_sink: PhaseSink | None = None
+    ) -> list[EpochResult]:
         """Run up to ``count`` epochs (stops early if the group dies)."""
         results = []
         for __ in range(count):
-            result = self.run_epoch()
+            result = self.run_epoch(phase_sink=phase_sink)
             if result is None:
                 break
             results.append(result)

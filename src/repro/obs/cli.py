@@ -1,0 +1,138 @@
+"""The ``repro trace`` verb: run once with tracing on, report, explain.
+
+Three modes:
+
+* **run** (default) — execute one configured aggregation with a full
+  :class:`~repro.obs.telemetry.RunTelemetry` attached, print the
+  phase-by-phase report, optionally write the ``repro-trace/1`` JSONL
+  (``--out``) and a causal ``--explain`` account for a member.
+* **query** (``--input FILE``) — load an existing trace and answer
+  ``--explain`` / re-print its summary without re-running anything.
+* **validate** (``--validate FILE``) — structural schema check; exit 0
+  when conformant, 1 otherwise (the ``make trace-smoke`` gate).
+
+Kept out of :mod:`repro.cli` so the observability layer owns its whole
+surface; :mod:`repro.cli` only registers the subparser.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+
+from repro.obs.export import (
+    load_trace,
+    run_result_record,
+    validate_trace_lines,
+    write_trace,
+)
+from repro.obs.report import explain, render_phase_report
+from repro.obs.telemetry import RunTelemetry
+
+__all__ = ["add_trace_arguments", "run_trace"]
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register ``repro trace``'s own options (run options are shared)."""
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the full repro-trace/1 JSONL trace to this file",
+    )
+    parser.add_argument(
+        "--explain", type=int, default=None, metavar="MEMBER",
+        help="print a causal account of why this member's aggregate "
+             "was (in)complete",
+    )
+    parser.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="query an existing trace file instead of running",
+    )
+    parser.add_argument(
+        "--validate", default=None, metavar="FILE",
+        help="validate a trace file against the repro-trace/1 schema "
+             "and exit (0 = conformant)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None, metavar="N",
+        help="cap on stored phase/engine events (counters stay exact)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the repro-run/1 result record ('-' = stdout)",
+    )
+
+
+def _validate(path: str) -> int:
+    with open(path) as handle:
+        errors = validate_trace_lines(handle)
+    if errors:
+        for error in errors:
+            print(f"INVALID {path}: {error}")
+        return 1
+    print(f"{path}: valid repro-trace/1")
+    return 0
+
+
+def _query(args: argparse.Namespace) -> int:
+    document = load_trace(args.input)
+    if args.explain is not None:
+        print(explain(document, args.explain))
+        return 0
+    summary = document.summary or {}
+    print(f"{args.input}: {len(document.records)} records")
+    print(
+        f"bump-ups: {summary.get('bump_up_early', 0)} early, "
+        f"{summary.get('bump_up_timeout', 0)} timeout; "
+        f"{summary.get('finalize', 0)} finalized "
+        f"({summary.get('incomplete_finalizes', 0)} incomplete)"
+    )
+    return 0
+
+
+def run_trace(args: argparse.Namespace, make_config) -> int:
+    """Execute the trace verb.  ``make_config(args) -> RunConfig``.
+
+    The config factory is injected by :mod:`repro.cli` (which owns the
+    shared run-argument parsing); importing the experiment runner here is
+    done lazily so ``--validate`` works without building a simulation.
+    """
+    if args.validate is not None:
+        return _validate(args.validate)
+    if args.input is not None:
+        return _query(args)
+    from repro.experiments.runner import run_once
+
+    from repro.sim.trace import Tracer
+    from repro.obs.phase import PhaseTrace
+
+    if args.max_events is not None:
+        telemetry = RunTelemetry(
+            tracer=Tracer(max_events=args.max_events),
+            phase_trace=PhaseTrace(max_events=args.max_events),
+        )
+    else:
+        telemetry = RunTelemetry()
+    config = make_config(args)
+    result = run_once(config, telemetry=telemetry)
+    print(render_phase_report(telemetry))
+    if args.out:
+        lines = write_trace(telemetry, args.out)
+        print(f"wrote {args.out} ({lines} records)")
+    if args.json:
+        record = run_result_record(result)
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            print(text, end="")
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.json}")
+    if args.explain is not None:
+        buffer = io.StringIO()
+        write_trace(telemetry, buffer)
+        buffer.seek(0)
+        document = load_trace(buffer)
+        print()
+        print(explain(document, args.explain))
+    return 0

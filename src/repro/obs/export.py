@@ -1,0 +1,330 @@
+"""Deterministic JSONL export of run telemetry (schema ``repro-trace/1``).
+
+One line per record, ``json.dumps(..., sort_keys=True)``, no timestamps
+and no wall-clock — a fixed seed reproduces the file byte-for-byte.
+Record types, in file order:
+
+* ``header`` — schema tag, the run's config, the Grid Box Hierarchy
+  identity and the member→box map (what the ``explain`` query needs to
+  reconstruct subtree membership without re-running anything);
+* ``phase`` — one :class:`~repro.core.observe.PhaseEvent` each;
+* ``engine`` — one :class:`~repro.sim.trace.TraceEvent` each (sends,
+  deliveries, crashes, terminations);
+* ``round`` — one :class:`~repro.sim.metrics.RoundSample` each;
+* ``result`` — the machine-readable run outcome (schema
+  ``repro-run/1``, shared verbatim with ``repro run --json``);
+* ``summary`` — the :class:`~repro.obs.telemetry.TelemetrySummary`
+  totals, always the last line.
+
+:func:`load_trace` reads a file back into typed objects;
+:func:`validate_trace_lines` checks structural conformance (used by
+``repro trace --validate`` and the ``make trace-smoke`` CI step).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import IO, Any
+
+from repro.core.observe import PHASE_EVENT_KINDS, PhaseEvent
+from repro.obs.telemetry import RunTelemetry
+from repro.sim.metrics import RoundSample
+from repro.sim.trace import KINDS as ENGINE_EVENT_KINDS
+from repro.sim.trace import TraceEvent
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RUN_SCHEMA",
+    "TraceDocument",
+    "run_result_record",
+    "iter_trace_records",
+    "write_trace",
+    "load_trace",
+    "validate_trace_lines",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+RUN_SCHEMA = "repro-run/1"
+
+#: Keys required on every record of each type (beyond ``record`` itself).
+_REQUIRED_KEYS = {
+    "header": ("schema", "config"),
+    "phase": ("kind", "member", "round", "phase"),
+    "engine": ("kind", "round", "node"),
+    "round": (
+        "round", "messages_sent", "bytes_sent", "messages_dropped",
+        "live_members", "active_members", "max_sends_by_member",
+    ),
+    "result": ("schema",),
+    "summary": ("runs", "bump_up_early", "bump_up_timeout",
+                "phase_timeouts"),
+}
+
+
+def _json_safe(value: Any) -> Any:
+    """NaN/inf are not valid JSON: encode them as null."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def run_result_record(result: Any) -> dict:
+    """The ``repro-run/1`` record of a finished run.
+
+    Duck-typed over :class:`~repro.experiments.runner.RunResult` (this
+    package never imports ``repro.experiments``).  The same record is
+    printed by ``repro run --json`` and embedded as the trace's
+    ``result`` line, so consumers parse one schema.
+    """
+    config = result.config
+    report = result.report
+    summary = getattr(result, "telemetry", None)
+    return {
+        "schema": RUN_SCHEMA,
+        "protocol": config.protocol,
+        "n": config.n,
+        "k": config.k,
+        "seed": config.seed,
+        "aggregate": config.aggregate,
+        "campaign": config.campaign,
+        "true_value": _json_safe(result.true_value),
+        "completeness": _json_safe(result.completeness),
+        "incompleteness": _json_safe(result.incompleteness),
+        "completeness_initial": _json_safe(
+            report.mean_completeness_initial
+        ),
+        "min_completeness": _json_safe(report.min_completeness),
+        "mean_estimate_error": _json_safe(result.mean_estimate_error),
+        "mean_coverage": _json_safe(result.mean_coverage),
+        "rounds": result.rounds,
+        "messages_sent": result.messages_sent,
+        "messages_dropped": result.messages_dropped,
+        "bytes_sent": result.bytes_sent,
+        "crashes": result.crashes,
+        "recoveries": result.recoveries,
+        "survivors": report.survivors,
+        "unfinished": report.unfinished,
+        "telemetry": summary.to_record() if summary is not None else None,
+    }
+
+
+def iter_trace_records(telemetry: RunTelemetry):
+    """Yield the trace's records (dicts) in canonical file order."""
+    yield {
+        "record": "header",
+        "schema": TRACE_SCHEMA,
+        "config": telemetry.config_record,
+        "hierarchy": (
+            {"group_size": telemetry.hierarchy[0],
+             "k": telemetry.hierarchy[1]}
+            if telemetry.hierarchy is not None else None
+        ),
+        "boxes": (
+            {str(member): box
+             for member, box in sorted(telemetry.boxes.items())}
+            if telemetry.boxes is not None else None
+        ),
+        "sanitizer_active": telemetry.sanitizer_active,
+    }
+    for event in telemetry.phase_trace.events:
+        yield {
+            "record": "phase",
+            "kind": event.kind,
+            "member": event.member,
+            "round": event.round,
+            "phase": event.phase,
+            "subtree": event.subtree,
+            "missing": list(event.missing),
+            "coverage": _json_safe(event.coverage),
+        }
+    for event in telemetry.tracer.events:
+        yield {
+            "record": "engine",
+            "kind": event.kind,
+            "round": event.round,
+            "node": event.node,
+            "peer": event.peer,
+        }
+    if telemetry.metrics is not None:
+        for sample in telemetry.metrics.samples:
+            yield {
+                "record": "round",
+                "round": sample.round,
+                "messages_sent": sample.messages_sent,
+                "bytes_sent": sample.bytes_sent,
+                "messages_dropped": sample.messages_dropped,
+                "live_members": sample.live_members,
+                "active_members": sample.active_members,
+                "max_sends_by_member": sample.max_sends_by_member,
+            }
+    if telemetry.result_record is not None:
+        yield {"record": "result", **telemetry.result_record}
+    yield {"record": "summary", **telemetry.summary().to_record()}
+
+
+def write_trace(telemetry: RunTelemetry, target: str | IO[str]) -> int:
+    """Write the JSONL trace to a path or open text file; returns lines."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return write_trace(telemetry, handle)
+    count = 0
+    for record in iter_trace_records(telemetry):
+        target.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+@dataclass
+class TraceDocument:
+    """A parsed ``repro-trace/1`` file, typed where it pays off."""
+
+    header: dict = field(default_factory=dict)
+    phase_events: list[PhaseEvent] = field(default_factory=list)
+    engine_events: list[TraceEvent] = field(default_factory=list)
+    rounds: list[RoundSample] = field(default_factory=list)
+    result: dict | None = None
+    summary: dict | None = None
+    #: Raw parsed records, in file order (byte-faithful re-export).
+    records: list[dict] = field(default_factory=list)
+
+    @property
+    def hierarchy(self) -> tuple[int, int] | None:
+        info = self.header.get("hierarchy")
+        if not info:
+            return None
+        return (info["group_size"], info["k"])
+
+    @property
+    def boxes(self) -> dict[int, int]:
+        raw = self.header.get("boxes") or {}
+        return {int(member): box for member, box in raw.items()}
+
+    def events_of(self, member: int) -> list[PhaseEvent]:
+        return [e for e in self.phase_events if e.member == member]
+
+    def crash_round_of(self, node: int) -> int | None:
+        for event in self.engine_events:
+            if event.kind == "crash" and event.node == node:
+                return event.round
+        return None
+
+
+def load_trace(source: str | IO[str]) -> TraceDocument:
+    """Parse a ``repro-trace/1`` JSONL file back into typed records."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return load_trace(handle)
+    document = TraceDocument()
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        document.records.append(record)
+        kind = record.get("record")
+        if kind == "header":
+            document.header = record
+        elif kind == "phase":
+            document.phase_events.append(PhaseEvent(
+                kind=record["kind"],
+                member=record["member"],
+                round=record["round"],
+                phase=record["phase"],
+                subtree=record.get("subtree"),
+                missing=tuple(record.get("missing") or ()),
+                coverage=record.get("coverage"),
+            ))
+        elif kind == "engine":
+            document.engine_events.append(TraceEvent(
+                round=record["round"],
+                kind=record["kind"],
+                node=record["node"],
+                peer=record.get("peer"),
+            ))
+        elif kind == "round":
+            document.rounds.append(RoundSample(
+                round=record["round"],
+                messages_sent=record["messages_sent"],
+                bytes_sent=record["bytes_sent"],
+                messages_dropped=record["messages_dropped"],
+                live_members=record["live_members"],
+                active_members=record["active_members"],
+                max_sends_by_member=record["max_sends_by_member"],
+            ))
+        elif kind == "result":
+            document.result = record
+        elif kind == "summary":
+            document.summary = record
+    return document
+
+
+def validate_trace_lines(lines) -> list[str]:
+    """Structural conformance errors of a ``repro-trace/1`` document.
+
+    Empty list = valid.  Checks line-level JSON validity, record typing,
+    required keys, event-kind vocabularies and the header/summary
+    framing (header first, summary last, exactly one of each).
+    """
+    errors: list[str] = []
+    records: list[tuple[int, dict]] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "record" not in record:
+            errors.append(f"line {number}: not a record object")
+            continue
+        records.append((number, record))
+    if not records:
+        return errors + ["empty trace: no records"]
+    for number, record in records:
+        kind = record["record"]
+        required = _REQUIRED_KEYS.get(kind)
+        if required is None:
+            errors.append(
+                f"line {number}: unknown record type {kind!r}"
+            )
+            continue
+        for key in required:
+            if key not in record:
+                errors.append(
+                    f"line {number}: {kind} record missing {key!r}"
+                )
+        if kind == "header" and record.get("schema") != TRACE_SCHEMA:
+            errors.append(
+                f"line {number}: header schema "
+                f"{record.get('schema')!r} != {TRACE_SCHEMA!r}"
+            )
+        if kind == "result" and record.get("schema") != RUN_SCHEMA:
+            errors.append(
+                f"line {number}: result schema "
+                f"{record.get('schema')!r} != {RUN_SCHEMA!r}"
+            )
+        if kind == "phase" and record.get("kind") not in PHASE_EVENT_KINDS:
+            errors.append(
+                f"line {number}: unknown phase event kind "
+                f"{record.get('kind')!r}"
+            )
+        if (kind == "engine"
+                and record.get("kind") not in ENGINE_EVENT_KINDS):
+            errors.append(
+                f"line {number}: unknown engine event kind "
+                f"{record.get('kind')!r}"
+            )
+    first, last = records[0][1], records[-1][1]
+    if first.get("record") != "header":
+        errors.append("first record must be the header")
+    if last.get("record") != "summary":
+        errors.append("last record must be the summary")
+    for expected in ("header", "summary"):
+        count = sum(1 for _, r in records if r.get("record") == expected)
+        if count != 1:
+            errors.append(f"expected exactly one {expected}, got {count}")
+    return errors

@@ -1,0 +1,80 @@
+"""Opt-in wall-clock section profiling.
+
+The REP002 lint rule bans wall-clock reads inside the deterministic
+packages (``sim``/``core``/``chaos``/``baselines``) — their outputs must
+be pure functions of the seed.  Profiling therefore lives *here*, in the
+observability layer, and is attached from the outside: the experiment
+runner wraps its build/simulate/measure sections with
+:meth:`RunTelemetry.profile <repro.obs.telemetry.RunTelemetry.profile>`,
+which is a no-op unless a :class:`SectionProfiler` was explicitly
+supplied.  Timings feed the ``make bench`` harness
+(``benchmarks/perf/run_bench.py --profile``) and are never written into
+deterministic artifacts (trace JSONL, run JSON, reports).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["SectionProfiler"]
+
+
+class SectionProfiler:
+    """Accumulates wall-clock totals per named section.
+
+    >>> profiler = SectionProfiler()
+    >>> with profiler.section("simulate"):
+    ...     pass
+    >>> profiler.calls["simulate"]
+    1
+
+    Nesting is allowed; each section accounts its own wall-clock
+    independently (a nested section's time is also inside its parent's).
+    """
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def merge(self, other: "SectionProfiler") -> None:
+        """Fold another profiler's totals into this one."""
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+        for name, count in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + count
+
+    def as_records(self) -> dict[str, dict]:
+        """``{section: {seconds, calls}}`` with seconds rounded for JSON."""
+        return {
+            name: {
+                "seconds": round(self.totals[name], 4),
+                "calls": self.calls.get(name, 0),
+            }
+            for name in sorted(self.totals)
+        }
+
+    def report(self) -> str:
+        """Human-readable per-section table, widest section first."""
+        if not self.totals:
+            return "(no sections timed)"
+        order = sorted(
+            self.totals, key=lambda name: (-self.totals[name], name)
+        )
+        width = max(len(name) for name in order)
+        lines = [
+            f"{name:<{width}}  {self.totals[name]:>9.4f}s  "
+            f"x{self.calls.get(name, 0)}"
+            for name in order
+        ]
+        return "\n".join(lines)

@@ -39,7 +39,15 @@ class RoundMetrics:
     _last_sent: int = 0
     _last_bytes: int = 0
     _last_dropped: int = 0
-    _last_per_sender: dict = field(default_factory=dict)
+    _last_per_sender: dict[int, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Clear samples and delta baselines for reuse across runs."""
+        self.samples.clear()
+        self._last_sent = 0
+        self._last_bytes = 0
+        self._last_dropped = 0
+        self._last_per_sender = {}
 
     def snapshot(self, engine) -> None:
         """Record the round that just executed (engine callback)."""

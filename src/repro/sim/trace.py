@@ -56,6 +56,8 @@ class Tracer:
         self.predicate = predicate
         self.events: list[TraceEvent] = []
         self.counts: Counter = Counter()
+        #: Events past the cap.  ``max_events=0`` is the counters-only
+        #: shape (nothing was meant to be stored), so it stays 0 there.
         self.dropped_events = 0
 
     def record(self, event: TraceEvent) -> None:
@@ -66,8 +68,14 @@ class Tracer:
             return
         if len(self.events) < self.max_events:
             self.events.append(event)
-        else:
+        elif self.max_events > 0:
             self.dropped_events += 1
+
+    def reset(self) -> None:
+        """Clear events and counters for reuse across runs/epochs."""
+        self.events.clear()
+        self.counts.clear()
+        self.dropped_events = 0
 
     # -- queries ---------------------------------------------------------
     def of_kind(self, kind: str) -> list[TraceEvent]:
