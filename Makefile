@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint bench bench-quick bench-figures chaos-smoke trace-smoke figures examples clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-figures chaos-smoke trace-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,6 +21,11 @@ bench:            ## wall-clock perf harness -> BENCH_core.json
 
 bench-quick:      ## CI-sized perf smoke run
 	PYTHONPATH=src python benchmarks/perf/run_bench.py --quick
+
+bench-smoke:      ## CI perf gate: quick workloads, fail on >20% regression
+	cp BENCH_core.json /tmp/repro-bench-smoke.json
+	PYTHONPATH=src python benchmarks/perf/run_bench.py --quick \
+		--output /tmp/repro-bench-smoke.json --fail-on-regression
 
 bench-figures:    ## regenerate every paper figure + the extra studies
 	pytest benchmarks/ --benchmark-only -s

@@ -29,7 +29,15 @@ Canonical workloads:
   and per-round bookkeeping dominate; the two runs share one cached
   assignment, so this workload tracks both the raw hot path and the
   large-N caching.  Same size under ``--quick`` on purpose: shrinking
-  it would measure a different regime.
+  it would measure a different regime.  Runs on the array-stepped
+  engine (``engine="auto"``); the checksum pins bit-identity against
+  the object-stepped history.
+* ``n65536``            — step an N=65536/K=8 world for 12 rounds (full
+  bench only), the regime the array-stepped engine exists for;
+  round-capped because converged masks cost O(N^2) memory at this size
+  (see ``N65536_ROUNDS``).
+* ``n1m_smoke``         — opt-in (``--n1m``): build a 10^6-member world
+  on the array engine, step a few rounds, record peak RSS.
 
 Usage::
 
@@ -232,6 +240,9 @@ def bench_large(quick: bool) -> dict:
     Runs in-process (``jobs=1``) so the second run can reuse the
     memoized ``GridAssignment`` the way ``Sweep``/``ParallelRunner``
     workers do; the checksum pins the numbers against the goldens.
+    Engine selection is ``auto`` — the array-stepped engine on this
+    configuration — and the checksum proves it bit-identical to the
+    object-stepped history records.
     """
     configs = [with_params(n=8192, k=8, seed=0).with_seed(offset)
                for offset in range(2)]
@@ -241,12 +252,116 @@ def bench_large(quick: bool) -> dict:
     return {
         "workload": "n8192",
         "config": {"n": 8192, "k": 8, "seeds": [0, 1], "ucastl": 0.25,
-                   "pf": 0.001, "total_runs": len(configs)},
+                   "pf": 0.001, "total_runs": len(configs),
+                   "engine": "auto"},
         "seconds": round(seconds, 3),
         "rounds": [r.rounds for r in results],
         "messages_sent": sum(r.messages_sent for r in results),
         "incompleteness": max(r.incompleteness for r in results),
         "checksum": _checksum(results),
+    }
+
+
+#: Rounds executed by the n65536 workload.  The run is deliberately
+#: round-capped rather than run to convergence: completed aggregates
+#: carry member masks whose cardinality approaches N, so a *converged*
+#: N=65536 world costs O(N^2) memory (tens of GB) in the current mask
+#: representation — a known limit documented in benchmarks/perf/README.md.
+#: Twelve rounds keeps masks at early-phase (subtree-sized) cardinality
+#: while still exercising every batched primitive for minutes of the
+#: exact regime the array engine targets.
+N65536_ROUNDS = 12
+
+
+def bench_n65536() -> dict:
+    """Step a capped N=65536 world — the regime the array engine targets.
+
+    Full-bench only (skipped under ``--quick``): per-round cost at this
+    size is seconds even on the array engine, which is exactly why the
+    workload did not exist before it.  The checksum digests the network
+    statistics and liveness counters after ``N65536_ROUNDS`` rounds, so
+    any protocol or stream drift at 64k members is caught.
+    """
+    from repro.experiments import runner as runner_mod
+    from repro.sim.rng import RngRegistry
+
+    config = with_params(n=65536, k=8, seed=0)
+    start = time.perf_counter()
+    rngs = RngRegistry(seed=config.seed)
+    votes = runner_mod._make_votes(config, rngs)
+    processes, max_rounds = runner_mod._build_processes(config, votes, rngs)
+    network = runner_mod._make_network(config)
+    failure_model = runner_mod._make_failures(config)
+    engine = runner_mod._make_engine(
+        config, None, processes, network, failure_model, rngs, max_rounds
+    )
+    engine.add_processes(processes)
+    stats = engine.run(until=lambda: engine.round >= N65536_ROUNDS)
+    seconds = time.perf_counter() - start
+    net = engine.network.stats
+    digest = hashlib.sha256(json.dumps(
+        [stats.rounds_executed, net.sent, net.dropped, net.bytes_sent,
+         engine.live_count, engine.active_count,
+         engine.terminated_count],
+        sort_keys=True,
+    ).encode()).hexdigest()[:16]
+    return {
+        "workload": "n65536",
+        "config": {"n": 65536, "k": 8, "seed": 0, "ucastl": 0.25,
+                   "pf": 0.001, "engine": "auto",
+                   "rounds_limit": N65536_ROUNDS},
+        "seconds": round(seconds, 3),
+        "rounds": stats.rounds_executed,
+        "messages_sent": net.sent,
+        "checksum": digest,
+    }
+
+
+#: Rounds executed by the million-member smoke (enough to exercise the
+#: full send/deliver/advance block path — deliveries land from round 2
+#: — without running the whole protocol horizon).
+N1M_SMOKE_ROUNDS = 3
+
+
+def bench_n1m_smoke() -> dict:
+    """Memory-layout smoke at 10**6 members: build + a few array rounds.
+
+    Proves the array engine's record layout holds a million-member
+    group in laptop-class memory (``peak_rss_mb``) and steps it; it is
+    not a full protocol run (``--n1m`` opt-in, minutes of wall-clock).
+    """
+    import resource
+
+    from repro.experiments import runner as runner_mod
+    from repro.sim.rng import RngRegistry
+
+    config = with_params(n=1_000_000, k=16, seed=0)
+    start = time.perf_counter()
+    rngs = RngRegistry(seed=config.seed)
+    votes = runner_mod._make_votes(config, rngs)
+    processes, max_rounds = runner_mod._build_processes(config, votes, rngs)
+    network = runner_mod._make_network(config)
+    failure_model = runner_mod._make_failures(config)
+    engine = runner_mod._make_engine(
+        config, None, processes, network, failure_model, rngs, max_rounds
+    )
+    engine.add_processes(processes)
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    stats = engine.run(until=lambda: engine.round >= N1M_SMOKE_ROUNDS)
+    step_seconds = time.perf_counter() - start
+    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "workload": "n1m_smoke",
+        "config": {"n": 1_000_000, "k": 16, "seed": 0, "ucastl": 0.25,
+                   "pf": 0.001, "engine": "auto",
+                   "rounds_limit": N1M_SMOKE_ROUNDS},
+        "seconds": round(build_seconds + step_seconds, 3),
+        "build_seconds": round(build_seconds, 3),
+        "step_seconds": round(step_seconds, 3),
+        "rounds": stats.rounds_executed,
+        "messages_sent": engine.network.stats.sent,
+        "peak_rss_mb": round(peak_rss_mb, 1),
     }
 
 
@@ -275,6 +390,12 @@ def main(argv=None) -> int:
         help="attach the repro.obs section profiler to the single large "
              "run and print its build/simulate/measure wall-clock split",
     )
+    parser.add_argument(
+        "--n1m", action="store_true",
+        help="also run the million-member memory-layout smoke (builds a "
+             "10^6-member world on the array engine and steps a few "
+             "rounds; records peak RSS)",
+    )
     args = parser.parse_args(argv)
     # The harness default is one worker per core ("auto"), not the library
     # default of serial — a benchmark run wants the machine saturated.
@@ -300,6 +421,20 @@ def main(argv=None) -> int:
           f"({entry['messages_sent']} messages, "
           f"checksum {entry['checksum']})", flush=True)
     entries.append(entry)
+    if not args.quick:
+        print("[bench] n65536 array-engine workload ...", flush=True)
+        entry = bench_n65536()
+        print(f"[bench]   {entry['workload']}: {entry['seconds']}s "
+              f"({entry['messages_sent']} messages, "
+              f"checksum {entry['checksum']})", flush=True)
+        entries.append(entry)
+    if args.n1m:
+        print("[bench] million-member memory smoke ...", flush=True)
+        entry = bench_n1m_smoke()
+        print(f"[bench]   {entry['workload']}: build {entry['build_seconds']}s"
+              f" + {entry['rounds']} rounds {entry['step_seconds']}s, "
+              f"peak RSS {entry['peak_rss_mb']} MB", flush=True)
+        entries.append(entry)
 
     record = {
         "git_revision": _git_revision(),

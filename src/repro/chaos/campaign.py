@@ -27,6 +27,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.chaos.events import (
     ChurnWindow,
     CorrelatedCrash,
@@ -88,6 +90,41 @@ class ChaosNetwork(Network):
 
     def latency(self, message: Message, rng) -> int:
         return self.latency_rounds + self.current_extra_latency
+
+    def _block_crossings(self, src, dest):
+        if self.partition is None:
+            return None
+        parts, __ = self.partition
+        return (src % parts) != (dest % parts)
+
+    def block_loss_probabilities(self, src, dest):
+        if (
+            type(self).loss_probability is not ChaosNetwork.loss_probability
+            or type(self).crosses_partition
+            is not ChaosNetwork.crosses_partition
+        ):
+            return None
+        crossings = self._block_crossings(src, dest)
+        if crossings is None:
+            return self.current_loss
+        partl = self.partition[1]
+        return np.where(
+            crossings,
+            max(partl, self.current_loss),
+            self.current_loss,
+        )
+
+    def block_latency_rounds(self):
+        if type(self).latency is not ChaosNetwork.latency:
+            return None
+        return self.latency_rounds + self.current_extra_latency
+
+    def _note_block_losses(self, src, dest, lost) -> None:
+        crossings = self._block_crossings(src, dest)
+        if crossings is not None:
+            self.stats.dropped_cross_partition += int(
+                (lost & crossings).sum()
+            )
 
     def plan_delivery(self, message: Message, rngs):
         crossing = self.crosses_partition(message)

@@ -45,6 +45,11 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                         help="multicast-wave start stagger in rounds")
     parser.add_argument("--n-estimate", type=int, default=None,
                         help="build the hierarchy for this N estimate")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "object", "array"),
+                        help="round engine: 'auto' picks the array-stepped "
+                             "engine when supported (bit-identical results), "
+                             "'object'/'array' force one")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,6 +257,7 @@ def _config_from_args(args: argparse.Namespace):
         view_size=args.view_size,
         start_spread=args.start_spread,
         n_estimate=args.n_estimate,
+        engine=args.engine,
     )
 
 
@@ -374,7 +380,17 @@ def _run_monitor(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    finally:
+        # Reap the invocation's shared worker pools (no-op when the
+        # command never fanned out).
+        from repro.experiments.parallel import close_shared_runners
+
+        close_shared_runners()
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         for figure_id, figure_fn in ALL_FIGURES.items():
             doc = (figure_fn.__doc__ or "").strip().splitlines()[0]

@@ -44,6 +44,7 @@ __all__ = [
     "AllAggregate",
     "get_aggregate",
     "AGGREGATE_REGISTRY",
+    "clear_mask_union_cache",
 ]
 
 
@@ -64,9 +65,23 @@ _SANITIZE_HOOK = None
 #: simulator's top cost at N >= 8192.  Keyed on the sorted ``id()``s of
 #: the input frozensets; the value holds the inputs, pinning those ids
 #: for the entry's lifetime, so a hit always refers to the same objects
-#: (same union, same disjointness).  Cleared wholesale when full.
+#: (same union, same disjointness).  When full, the oldest half is
+#: evicted (dict insertion order): a prior run's entries can never hit
+#: again — its pinned masks are unreachable from new states — so they
+#: age out first while the current run's hot entries survive.
 _MASK_UNION_CACHE: dict[tuple, tuple[list, frozenset]] = {}
 _MASK_UNION_LIMIT = 4096
+
+
+def clear_mask_union_cache() -> None:
+    """Drop all memoized mask unions (and unpin their frozensets).
+
+    Entries are keyed on object identity, so one run's entries are pure
+    dead weight to the next run in the same process — they crowd out the
+    live working set and force rebuild churn.  Run entry points call
+    this; results never depend on it (the cache is a pure memo).
+    """
+    _MASK_UNION_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -202,7 +217,8 @@ class AggregateFunction:
                 f"merge succeeded"
             )  # pragma: no cover - unreachable
         if len(_MASK_UNION_CACHE) >= _MASK_UNION_LIMIT:
-            _MASK_UNION_CACHE.clear()
+            for stale in list(_MASK_UNION_CACHE)[: _MASK_UNION_LIMIT // 2]:
+                del _MASK_UNION_CACHE[stale]
         _MASK_UNION_CACHE[key] = (masks, members)
         return AggregateState(payload, members)
 

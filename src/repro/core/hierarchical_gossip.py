@@ -194,6 +194,9 @@ class GossipParams:
 class HierarchicalGossipProcess(AggregationProcess):
     """One group member executing Hierarchical Gossiping."""
 
+    #: Bound on :attr:`_seen_payloads` (absorbed-payload dedupe).
+    _SEEN_CAP = 4096
+
     def __init__(
         self,
         node_id: int,
@@ -251,6 +254,16 @@ class HierarchicalGossipProcess(AggregationProcess):
         self._known_version = 0
         #: (version, payload, wire size) of the last batch built, or None.
         self._batch_cache: tuple[int, GossipBatch, int] | None = None
+        #: Payload objects already absorbed this phase, keyed by ``id``.
+        #: Senders reuse one cached :class:`GossipBatch` object across
+        #: rounds (and across their M gossipees), so a receiver sees the
+        #: same object many times; re-absorbing it is a provable no-op
+        #: (see :meth:`on_message`), so it is skipped.  The dict *pins*
+        #: its payloads (values are the objects themselves), which is
+        #: what makes the ``id`` key sound — a pinned object's id cannot
+        #: be recycled.  Cleared on every phase entry; capped so
+        #: adversarial single-value traffic cannot grow it unboundedly.
+        self._seen_payloads: dict[int, object] = {}
         #: (phase, verdict) memo for :meth:`_is_representative` — the
         #: role is stable for the whole phase, so hash it once.
         self._rep_cache: tuple[int, bool] | None = None
@@ -441,6 +454,7 @@ class HierarchicalGossipProcess(AggregationProcess):
     def on_start(self, ctx: Context) -> None:
         self.known = {self.node_id: self.own_state()}
         self._known_version += 1
+        self._seen_payloads.clear()
         self._start_round = max(ctx.round, self.start_round)
         self._emit_phase_enter(ctx)
 
@@ -489,8 +503,68 @@ class HierarchicalGossipProcess(AggregationProcess):
             self._phase_received += 1
         else:
             bucket = self._future.setdefault(phase, {})
+        if isinstance(payload, GossipBatch):
+            # Absorbed-payload dedupe: the sender reuses one batch object
+            # while its ``known`` is unchanged, so the same object often
+            # arrives many times within a phase.  Re-absorbing it is a
+            # no-op — ``_accept`` keeps an existing entry unless the
+            # offered version *strictly* improves coverage, and an
+            # already-absorbed entry cannot improve on itself — so the
+            # entry loop is skipped.  ``_phase_received`` (above) still
+            # counts the delivery: it measures network health, not
+            # novelty.  This must run *after* the push-pull reply so a
+            # repeated request still pulls our state.
+            seen = self._seen_payloads
+            if seen.get(id(payload)) is payload:
+                return
+            if len(seen) < self._SEEN_CAP:
+                seen[id(payload)] = payload
         for key, state in entries:
             self._accept(bucket, key, state)
+
+    def absorb_payloads(self, payloads: Iterable[object]) -> bool:
+        """Batched :meth:`on_message` over one round's arrived payloads.
+
+        The array-stepped engine's merge entry point: applies each
+        payload exactly as a per-message ``on_message`` call would (same
+        stale / current / future routing, same dedupe, same
+        ``_phase_received`` accounting) and reports whether ``known``
+        changed — the engine's advance-candidate signal.  Valid only
+        for push-free configurations (no push-pull replies are
+        generated here); the engine's fast-path gate guarantees that.
+        Phase advancement is *not* attempted — the engine drives
+        :meth:`_maybe_advance` in the round step, exactly like the
+        object-stepped engine does.
+        """
+        if self.result is not None:
+            return False
+        version_before = self._known_version
+        my_phase = self.phase
+        seen = self._seen_payloads
+        for payload in payloads:
+            if isinstance(payload, GossipBatch):
+                phase = payload.phase
+                entries = payload.entries
+            elif isinstance(payload, GossipValue):
+                phase = payload.phase
+                entries = ((payload.key, payload.state),)
+            else:
+                continue
+            if phase < my_phase:
+                continue
+            if phase == my_phase:
+                bucket = self.known
+                self._phase_received += 1
+            else:
+                bucket = self._future.setdefault(phase, {})
+            if isinstance(payload, GossipBatch):
+                if seen.get(id(payload)) is payload:
+                    continue
+                if len(seen) < self._SEEN_CAP:
+                    seen[id(payload)] = payload
+            for key, state in entries:
+                self._accept(bucket, key, state)
+        return self._known_version != version_before
 
     def on_round(self, ctx: Context) -> None:
         if self.result is not None or ctx.round < self.start_round:
@@ -607,6 +681,31 @@ class HierarchicalGossipProcess(AggregationProcess):
             return False
         return self.phase_rounds in self._retransmit_rounds
 
+    def build_round_payload(
+        self, sampler: BlockedSampler | None
+    ) -> tuple[GossipBatch, int]:
+        """This round's batch payload and wire size (batch mode only).
+
+        Reuses the batch (and its wire size) while ``known`` is
+        unchanged — stream-safe because a batch within the cap consumes
+        no randomness either way.  The array-stepped engine calls this
+        directly with a bank row sampler *after* drawing the member's
+        gossip targets, matching the object engine's draw order (targets
+        first, then any batch-subset doubles).
+        """
+        cached = self._batch_cache
+        if cached is not None and cached[0] == self._known_version:
+            return cached[1], cached[2]
+        payload = GossipBatch(self.phase, self._batch_entries(sampler))
+        size = payload.wire_size()  # invariant across the picks
+        cap = self.params.max_batch or self.assignment.hierarchy.k
+        self._batch_cache = (
+            (self._known_version, payload, size)
+            if len(self.known) <= cap
+            else None  # over the cap: fresh random subset per round
+        )
+        return payload, size
+
     def _gossip(self, ctx: Context) -> None:
         """Steps I(a)/II(a): push one known value to ``M`` random peers."""
         if not self._is_representative() and not self._retransmit_due():
@@ -625,24 +724,8 @@ class HierarchicalGossipProcess(AggregationProcess):
             else range(pool_size)
         )
         if self.params.batch_values:
-            # Reuse the batch (and its wire size) while ``known`` is
-            # unchanged — stream-safe because a batch within the cap
-            # consumes no randomness either way.
-            cached = self._batch_cache
-            if cached is not None and cached[0] == self._known_version:
-                payload: GossipBatch | GossipValue = cached[1]
-                size = cached[2]
-            else:
-                payload = GossipBatch(
-                    self.phase, self._batch_entries(sampler)
-                )
-                size = payload.wire_size()  # invariant across the picks
-                cap = self.params.max_batch or self.assignment.hierarchy.k
-                self._batch_cache = (
-                    (self._known_version, payload, size)
-                    if len(self.known) <= cap
-                    else None  # over the cap: fresh random subset per round
-                )
+            payload: GossipBatch | GossipValue
+            payload, size = self.build_round_payload(sampler)
         else:
             keys = list(self.known)
             if not self.params.independent_values:
@@ -734,6 +817,8 @@ class HierarchicalGossipProcess(AggregationProcess):
             self.phase_rounds = 0
             self._phase_received = 0
             self._phase_extension = 0
+            if self._seen_payloads:
+                self._seen_payloads.clear()
             if self.phase > self.num_phases:
                 # Graceful degradation: the estimate is reported together
                 # with the fraction of the group it demonstrably covers,

@@ -20,6 +20,22 @@ permitted in the sandbox, broken pool).  The job count resolves as:
 3. serial execution (the default — small figure calls and unit tests
    should not pay pool startup).
 
+Two transport optimizations keep the fan-out cheap at large N:
+
+* **One pool per process.**  A runner's :class:`~concurrent.futures.
+  ProcessPoolExecutor` is created lazily and *reused across map calls*
+  (close it with :meth:`ParallelRunner.close` or a ``with`` block).
+  :func:`run_many` goes further and draws runners from a process-wide
+  registry keyed by job count — a figure sweep's hundreds of cells, or
+  one CLI invocation's several figures, all share a single pool instead
+  of forking a fresh one per cell.
+* **Array-packed results.**  A ``RunResult`` carries two per-member
+  float maps (``report.per_member`` / ``per_member_initial``) that
+  dominate pickle time at N >= 8192.  Workers return results with those
+  maps packed into numpy id/value columns (raw-buffer pickling), and
+  the parent rehydrates the dicts — byte-identical contents, a fraction
+  of the IPC cost.  The serial path skips packing entirely.
+
 The determinism regression tests
 (``tests/integration/test_parallel_determinism.py``) pin the
 serial == parallel guarantee.
@@ -27,14 +43,26 @@ serial == parallel guarantee.
 
 from __future__ import annotations
 
+import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, replace
 from typing import TypeVar
 
+import numpy as np
+
+from repro.core.protocol import CompletenessReport
 from repro.experiments.params import RunConfig
 from repro.experiments.runner import RunResult, run_once
 
-__all__ = ["JOBS_ENV", "ParallelRunner", "resolve_jobs", "run_many"]
+__all__ = [
+    "JOBS_ENV",
+    "ParallelRunner",
+    "close_shared_runners",
+    "resolve_jobs",
+    "run_many",
+    "shared_runner",
+]
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
@@ -89,6 +117,13 @@ class ParallelRunner:
     takes).  Exceptions raised by the callable propagate unchanged; pool
     *infrastructure* failures (fork refused, workers killed) degrade to
     the serial loop instead of failing the experiment.
+
+    The worker pool is created lazily on the first parallel map and
+    **kept alive for the runner's lifetime**, so consecutive maps (a
+    sweep's cells, a figure's points) reuse warm workers instead of
+    paying pool startup each time.  Release it with :meth:`close` or by
+    using the runner as a context manager; an unclosed pool is reaped at
+    interpreter exit.
     """
 
     def __init__(self, jobs: int | str | None = None,
@@ -97,6 +132,8 @@ class ParallelRunner:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
+        self._pool = None
+        self._pool_unavailable = False
 
     def _chunk_size_for(self, items: int, workers: int) -> int:
         if self.chunk_size is not None:
@@ -104,6 +141,27 @@ class ParallelRunner:
         # Aim for a few chunks per worker so stragglers rebalance, while
         # keeping per-chunk IPC overhead amortized over several runs.
         return max(1, items // (workers * 4))
+
+    def _acquire_pool(self):
+        """The persistent pool, created on first use (None = no pool)."""
+        if self._pool is None and not self._pool_unavailable:
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            except (OSError, PermissionError, ImportError):
+                # Sandboxed fork / missing multiprocessing primitives:
+                # remember, so later maps skip straight to serial.
+                self._pool_unavailable = True
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
 
     def map(
         self,
@@ -114,26 +172,155 @@ class ParallelRunner:
         items = list(items)
         if self.jobs <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
+        pool = self._acquire_pool()
+        if pool is None:
+            return [fn(item) for item in items]
         workers = min(self.jobs, len(items))
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(
-                    pool.map(
-                        fn, items,
-                        chunksize=self._chunk_size_for(len(items), workers),
-                    )
+            return list(
+                pool.map(
+                    fn, items,
+                    chunksize=self._chunk_size_for(len(items), workers),
                 )
+            )
         except (BrokenProcessPool, OSError, PermissionError, ImportError):
-            # Pool infrastructure unavailable (sandboxed fork, dead
-            # workers, missing multiprocessing primitives): the work
-            # itself is still fine — run it serially.
+            # Pool infrastructure died (killed workers, fork refused
+            # mid-run): the work itself is still fine — drop the pool
+            # and run serially.
+            self._discard_pool()
             return [fn(item) for item in items]
 
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
-        return f"ParallelRunner(jobs={self.jobs})"
+        state = "live" if self._pool is not None else "idle"
+        return f"ParallelRunner(jobs={self.jobs}, pool={state})"
+
+
+# -- process-wide shared runners ----------------------------------------
+
+#: One persistent runner per resolved job count; every :func:`run_many`
+#: call in a process (sweep cells, figure points, benchmark legs) shares
+#: these instead of forking a fresh pool per call.
+_SHARED_RUNNERS: dict[int, ParallelRunner] = {}
+
+
+def shared_runner(jobs: int | str | None = None) -> ParallelRunner:
+    """The process-wide :class:`ParallelRunner` for this job count."""
+    count = resolve_jobs(jobs)
+    runner = _SHARED_RUNNERS.get(count)
+    if runner is None:
+        runner = _SHARED_RUNNERS[count] = ParallelRunner(count)
+    return runner
+
+
+def close_shared_runners() -> None:
+    """Shut down every shared runner's pool (idempotent).
+
+    CLI entry points call this on exit; library users only need it to
+    reap workers eagerly (interpreter exit reaps them anyway).
+    """
+    while _SHARED_RUNNERS:
+        __, runner = _SHARED_RUNNERS.popitem()
+        runner.close()
+
+
+atexit.register(close_shared_runners)
+
+
+# -- array-packed result transport --------------------------------------
+
+@dataclass
+class _PackedReport:
+    """A :class:`CompletenessReport` with its per-member float maps
+    flattened into numpy columns for cheap worker->parent pickling.
+
+    ``members_initial`` is ``None`` when ``per_member_initial`` has the
+    same keys in the same order as ``per_member`` (the common case: the
+    two maps are built over the same survivor set), sharing one id
+    column.
+    """
+
+    group_size: int
+    survivors: int
+    crashed: int
+    unfinished: int
+    members: np.ndarray
+    completeness: np.ndarray
+    members_initial: np.ndarray | None
+    completeness_initial: np.ndarray
+
+
+def _pack_column(mapping: dict[int, float]) -> tuple[np.ndarray, np.ndarray]:
+    count = len(mapping)
+    keys = np.fromiter(mapping, dtype=np.int64, count=count)
+    values = np.fromiter(mapping.values(), dtype=np.float64, count=count)
+    return keys, values
+
+
+def _pack_result(result: RunResult) -> RunResult:
+    """``result`` with its report swapped for a :class:`_PackedReport`."""
+    report = result.report
+    members, completeness = _pack_column(report.per_member)
+    members_initial, completeness_initial = _pack_column(
+        report.per_member_initial
+    )
+    if (
+        members_initial.shape == members.shape
+        and bool((members_initial == members).all())
+    ):
+        members_initial = None
+    packed = _PackedReport(
+        group_size=report.group_size,
+        survivors=report.survivors,
+        crashed=report.crashed,
+        unfinished=report.unfinished,
+        members=members,
+        completeness=completeness,
+        members_initial=members_initial,
+        completeness_initial=completeness_initial,
+    )
+    return replace(result, report=packed)
+
+
+def _unpack_result(result: RunResult) -> RunResult:
+    """Rehydrate a packed report into dicts with identical contents."""
+    packed = result.report
+    if not isinstance(packed, _PackedReport):
+        return result
+    members = packed.members.tolist()
+    keys_initial = (
+        members if packed.members_initial is None
+        else packed.members_initial.tolist()
+    )
+    report = CompletenessReport(
+        group_size=packed.group_size,
+        survivors=packed.survivors,
+        per_member=dict(zip(members, packed.completeness.tolist())),
+        per_member_initial=dict(
+            zip(keys_initial, packed.completeness_initial.tolist())
+        ),
+        crashed=packed.crashed,
+        unfinished=packed.unfinished,
+    )
+    return replace(result, report=report)
+
+
+def _run_once_packed(config: RunConfig) -> RunResult:
+    """Worker-side entry point: run, then pack for the trip home."""
+    return _pack_result(run_once(config))
 
 
 def run_many(
@@ -145,8 +332,18 @@ def run_many(
 
     ``results[i]`` corresponds to ``configs[i]``; output is bit-identical
     to ``[run_once(c) for c in configs]`` for any job count, because each
-    run derives all randomness from its own config's seed.
+    run derives all randomness from its own config's seed.  Parallel
+    calls draw their runner from the :func:`shared_runner` registry (one
+    persistent pool per job count and process) and move results over the
+    array-packed transport; the serial path runs :func:`run_once`
+    directly.
     """
+    configs = list(configs)
     if runner is None:
-        runner = ParallelRunner(jobs)
-    return runner.map(run_once, list(configs))
+        runner = shared_runner(jobs)
+    if runner.jobs <= 1 or len(configs) <= 1:
+        return [run_once(config) for config in configs]
+    return [
+        _unpack_result(result)
+        for result in runner.map(_run_once_packed, configs)
+    ]

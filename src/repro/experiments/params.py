@@ -72,6 +72,12 @@ class RunConfig:
     #: an object) so it survives the ``ParallelRunner`` worker boundary.
     #: Never changes results: telemetry draws no randomness.
     collect_telemetry: bool = False
+    #: Round-engine selection: ``"auto"`` uses the array-stepped engine
+    #: when the configuration supports it (bit-identical results, much
+    #: faster at large N) and the object-stepped engine otherwise;
+    #: ``"object"`` / ``"array"`` force one — forcing ``"array"`` on an
+    #: unsupported configuration raises instead of silently degrading.
+    engine: str = "auto"
 
     def with_seed(self, seed: int) -> "RunConfig":
         return replace(self, seed=seed)

@@ -18,7 +18,7 @@ from repro.baselines.centralized import build_centralized_group
 from repro.baselines.flat_gossip import build_flat_gossip_group
 from repro.baselines.flood import build_flood_group
 from repro.baselines.leader_election import build_leader_election_group
-from repro.core.aggregates import get_aggregate
+from repro.core.aggregates import clear_mask_union_cache, get_aggregate
 from repro.core.gridbox import (
     GridAssignment,
     GridBoxHierarchy,
@@ -107,12 +107,12 @@ class RunResult:
 
 
 def _make_votes(config: RunConfig, rngs: RngRegistry) -> dict[int, float]:
-    rng = rngs.stream("votes")
+    # One block draw: Generator.random(n) yields the same doubles as n
+    # scalar calls, so votes are bit-identical to the old scalar loop.
+    draws = rngs.stream("votes").random(config.n)
     span = config.vote_high - config.vote_low
-    return {
-        member_id: config.vote_low + span * float(rng.random())
-        for member_id in range(config.n)
-    }
+    votes = (config.vote_low + span * draws).tolist()
+    return dict(enumerate(votes))
 
 
 def _make_network(config: RunConfig):
@@ -124,6 +124,7 @@ def _make_network(config: RunConfig):
         half = config.n // 2
         return PartitionedNetwork(
             partition_of=lambda node: 0 if node < half else 1,
+            partition_of_block=lambda nodes: nodes >= half,
             partl=config.partl,
             ucastl=config.ucastl,
             **common,
@@ -258,6 +259,69 @@ def _box_groups(
     return [tuple(ids[i:i + k]) for i in range(0, len(ids), k)]
 
 
+def _array_engine_reason(
+    config: RunConfig, telemetry: RunTelemetry | None, processes,
+) -> str | None:
+    """Why this run cannot use the array-stepped engine (None = it can).
+
+    The array engine is bit-identical to the object engine on supported
+    configurations (the cross-engine golden suite pins it), so "auto"
+    selection never changes results — only speed.
+    """
+    if config.protocol != "hierarchical_gossip":
+        return f"protocol {config.protocol!r} has no array stepper"
+    if telemetry is not None and (
+        telemetry.tracer is not None or telemetry.metrics is not None
+    ):
+        return "message tracing / round metrics need per-message dispatch"
+    from repro.core.array_stepper import unsupported_reason
+
+    return unsupported_reason(processes[0].params)
+
+
+def _make_engine(
+    config: RunConfig,
+    telemetry: RunTelemetry | None,
+    processes,
+    network,
+    failure_model,
+    rngs: RngRegistry,
+    max_rounds: int,
+) -> SimulationEngine:
+    """Build the configured round engine (see ``RunConfig.engine``)."""
+    choice = config.engine
+    if choice not in ("auto", "object", "array"):
+        raise ValueError(
+            f"unknown engine {choice!r}; known: auto, object, array"
+        )
+    reason = (
+        _array_engine_reason(config, telemetry, processes)
+        if choice != "object"
+        else "engine='object' requested"
+    )
+    if choice == "array" and reason is not None:
+        raise ValueError(f"engine='array' is unsupported here: {reason}")
+    if reason is None:
+        from repro.core.array_stepper import HierarchicalArrayStepper
+        from repro.sim.array_engine import ArraySteppedEngine
+
+        return ArraySteppedEngine(
+            stepper=HierarchicalArrayStepper(),
+            network=network,
+            failure_model=failure_model,
+            rngs=rngs,
+            max_rounds=max_rounds,
+        )
+    return SimulationEngine(
+        network=network,
+        failure_model=failure_model,
+        rngs=rngs,
+        max_rounds=max_rounds,
+        tracer=telemetry.tracer if telemetry is not None else None,
+        metrics=telemetry.metrics if telemetry is not None else None,
+    )
+
+
 def _campaign_horizon(config: RunConfig, max_rounds: int) -> int:
     """The nominal protocol window campaign timeline fractions map onto."""
     if config.protocol in ("hierarchical_gossip", "flat_gossip"):
@@ -285,6 +349,12 @@ def run_once(
 
     if telemetry is None and config.collect_telemetry:
         telemetry = RunTelemetry.compact()
+    # The mask-union memo is identity-keyed, so a previous run's entries
+    # (in the same process: run_many serial legs, persistent pool
+    # workers) are pure dead weight that crowds out this run's working
+    # set — measured ~3x slower second runs at n=8192.  Dropping them is
+    # free and can never change results.
+    clear_mask_union_cache()
     rngs = RngRegistry(seed=config.seed)
     votes = _make_votes(config, rngs)
     function = get_aggregate(config.aggregate)
@@ -331,13 +401,9 @@ def _run_built(
         else:
             network = _make_network(config)
             failure_model = _make_failures(config)
-        engine = SimulationEngine(
-            network=network,
-            failure_model=failure_model,
-            rngs=rngs,
-            max_rounds=max_rounds,
-            tracer=telemetry.tracer if telemetry is not None else None,
-            metrics=telemetry.metrics if telemetry is not None else None,
+        engine = _make_engine(
+            config, telemetry, processes, network, failure_model,
+            rngs, max_rounds,
         )
         engine.add_processes(processes)
         if compiled is not None:

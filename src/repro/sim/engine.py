@@ -146,11 +146,7 @@ class Context:
         assert self.current is not None
         if not self.current.terminated:
             self.current.terminated = True
-            engine = self._engine
-            engine._terminated_count += 1
-            if self.current.alive:
-                engine._active_count -= 1
-            engine._trace("terminate", self.current.node_id)
+            self._engine._note_terminate(self.current)
 
 
 class SimulationEngine:
@@ -319,27 +315,42 @@ class SimulationEngine:
         for node_id in sorted(crashed):
             process = self.processes[node_id]
             if process.alive:
-                process.alive = False
-                self._alive_count -= 1
-                if not process.terminated:
-                    self._active_count -= 1
-                self.stats.crashes += 1
-                self._trace("crash", node_id)
-                self._ctx.current = process
-                process.on_crash(self._ctx)
-                self._ctx.current = None
+                self._crash(process)
         for node_id in sorted(recovered):
             process = self.processes[node_id]
             if not process.alive:
-                process.alive = True
-                self._alive_count += 1
-                if not process.terminated:
-                    self._active_count += 1
-                self.stats.recoveries += 1
-                self._trace("recover", node_id)
-                self._ctx.current = process
-                process.on_recover(self._ctx)
-                self._ctx.current = None
+                self._recover(process)
+
+    # -- liveness transition hooks (subclasses mirror them into their
+    # own bookkeeping, e.g. the array engine's per-member masks) --------
+    def _crash(self, process: Process) -> None:
+        process.alive = False
+        self._alive_count -= 1
+        if not process.terminated:
+            self._active_count -= 1
+        self.stats.crashes += 1
+        self._trace("crash", process.node_id)
+        self._ctx.current = process
+        process.on_crash(self._ctx)
+        self._ctx.current = None
+
+    def _recover(self, process: Process) -> None:
+        process.alive = True
+        self._alive_count += 1
+        if not process.terminated:
+            self._active_count += 1
+        self.stats.recoveries += 1
+        self._trace("recover", process.node_id)
+        self._ctx.current = process
+        process.on_recover(self._ctx)
+        self._ctx.current = None
+
+    def _note_terminate(self, process: Process) -> None:
+        """Bookkeeping for a process that just terminated (see Context)."""
+        self._terminated_count += 1
+        if process.alive:
+            self._active_count -= 1
+        self._trace("terminate", process.node_id)
 
     # -- liveness queries (O(1); see the Process docstring) -------------
     @property
@@ -356,6 +367,21 @@ class SimulationEngine:
     def terminated_count(self) -> int:
         """Processes that called :meth:`Context.terminate`."""
         return self._terminated_count
+
+    def _step_processes(self) -> None:
+        """One ``on_round`` step for every live, unterminated process.
+
+        Subclasses (the array-stepped engine) replace this with a batch
+        step; everything else about the round loop is shared.
+        """
+        order = self._round_order
+        if order is None:
+            order = self._round_order = tuple(self.processes.values())
+        for process in order:
+            if process.alive and not process.terminated:
+                self._ctx.current = process
+                process.on_round(self._ctx)
+                self._ctx.current = None
 
     def _all_done(self) -> bool:
         if self.failure_model.may_recover:
@@ -383,14 +409,7 @@ class SimulationEngine:
             self._apply_failures()
             self._deliver_due()
             self.round_bus.emit(self.round)
-            order = self._round_order
-            if order is None:
-                order = self._round_order = tuple(self.processes.values())
-            for process in order:
-                if process.alive and not process.terminated:
-                    self._ctx.current = process
-                    process.on_round(self._ctx)
-                    self._ctx.current = None
+            self._step_processes()
             if self.metrics is not None:
                 self.metrics.snapshot(self)
             self.round += 1

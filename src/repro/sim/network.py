@@ -29,6 +29,8 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.sim.rng import RngRegistry
 
 __all__ = [
@@ -159,6 +161,129 @@ class Network:
         self._loss_next += 1
         return value
 
+    def _bulk_loss_draws(self, rngs: RngRegistry, count: int) -> np.ndarray:
+        """The next ``count`` uniforms from the loss stream, in order.
+
+        Serves from the same pre-drawn blocks as :meth:`_loss_draw` (and
+        refills them the same way), so a bulk consumer and a scalar
+        consumer see the identical double sequence — the array engine's
+        loss decisions are bit-identical to per-message planning.
+        """
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            draws = self._loss_draws
+            if draws is None or self._loss_next >= len(draws):
+                draws = self._loss_draws = (
+                    rngs.stream("network", "loss").random(self.LOSS_BLOCK)
+                )
+                self._loss_next = 0
+            take = min(count - filled, len(draws) - self._loss_next)
+            out[filled:filled + take] = (
+                draws[self._loss_next:self._loss_next + take]
+            )
+            self._loss_next += take
+            filled += take
+        return out
+
+    # -- block-planning hooks (the array-stepped engine's fast path) ----
+    def block_loss_probabilities(
+        self, src: np.ndarray, dest: np.ndarray
+    ) -> np.ndarray | float | None:
+        """Loss probability per (src, dest) pair, vectorized.
+
+        ``None`` means this model cannot plan in blocks (a subclass
+        overrode :meth:`loss_probability` without providing a block
+        form); the caller must fall back to per-message
+        :meth:`plan_delivery`.  The guard checks the *actual* class's
+        ``loss_probability`` so a subclass can never be silently planned
+        with its parent's loss model.
+        """
+        if type(self).loss_probability is not Network.loss_probability:
+            return None
+        return 0.0
+
+    def block_latency_rounds(self) -> int | None:
+        """This round's uniform delivery delay, or ``None`` if per-message.
+
+        Models whose latency varies per *message* (jitter, multihop)
+        return ``None`` and are excluded from block planning; models
+        whose latency is merely per-*round* (chaos latency bursts)
+        override this to return the current value.
+        """
+        return self.fixed_latency
+
+    def plan_delivery_block(
+        self,
+        src: np.ndarray,
+        dest: np.ndarray,
+        sizes: np.ndarray,
+        slots: np.ndarray,
+        sent_round: int,
+        rngs: RngRegistry,
+    ):
+        """Vectorized :meth:`plan_delivery` over one round's send block.
+
+        ``src``/``dest``/``sizes`` describe the messages in *send order*
+        (the order the object-stepped engine would have submitted them);
+        ``slots[i]`` is message ``i``'s index among its sender's sends
+        this round (for the bandwidth cap).  Returns
+        ``(delivered_mask, delivery_round)`` — ``delivered_mask[i]``
+        True when message ``i`` survives both the cap and loss — or
+        ``None`` when this model cannot plan in blocks.  Stats, loss
+        draws and raised errors match the scalar path exactly.
+        """
+        probabilities = self.block_loss_probabilities(src, dest)
+        latency = self.block_latency_rounds()
+        if probabilities is None or latency is None:
+            return None
+        oversized = sizes > self.max_message_size
+        if oversized.any():
+            first = int(np.argmax(oversized))
+            raise MessageTooLarge(
+                f"message of size {int(sizes[first])} exceeds bound "
+                f"{self.max_message_size} (src={int(src[first])})"
+            )
+        stats = self.stats
+        if self.max_sends_per_round is not None:
+            accepted = slots < self.max_sends_per_round
+            stats.rejected_bandwidth += int((~accepted).sum())
+        else:
+            accepted = np.ones(len(src), dtype=bool)
+        count = int(accepted.sum())
+        if count == 0:
+            return accepted, sent_round + latency
+        a_src = src[accepted]
+        stats.sent += count
+        stats.bytes_sent += int(sizes[accepted].sum())
+        senders, sent_counts = np.unique(a_src, return_counts=True)
+        per_sender = stats.per_sender_sent
+        for sender, sends in zip(senders.tolist(), sent_counts.tolist()):
+            per_sender[sender] += sends
+        if rngs is not self._rng_source:
+            self._bind_rngs(rngs)
+        probabilities = np.broadcast_to(
+            np.asarray(probabilities, dtype=np.float64), (len(src),)
+        )[accepted]
+        lost = np.zeros(count, dtype=bool)
+        drawing = probabilities > 0.0
+        draw_count = int(drawing.sum())
+        if draw_count:
+            draws = self._bulk_loss_draws(rngs, draw_count)
+            lost[drawing] = draws < probabilities[drawing]
+        dropped = int(lost.sum())
+        if dropped:
+            stats.dropped += dropped
+            self._note_block_losses(a_src, dest[accepted], lost)
+        delivered = accepted.copy()
+        delivered[accepted] = ~lost
+        return delivered, sent_round + latency
+
+    def _note_block_losses(
+        self, src: np.ndarray, dest: np.ndarray, lost: np.ndarray
+    ) -> None:
+        """Hook for subclass loss accounting (cross-partition counters)."""
+
     def plan_delivery(self, message: Message, rngs: RngRegistry):
         """Decide the fate of ``message``; see class docstring."""
         if message.size > self.max_message_size:
@@ -194,6 +319,13 @@ class LossyNetwork(Network):
         self.ucastl = ucastl
 
     def loss_probability(self, message: Message) -> float:
+        return self.ucastl
+
+    def block_loss_probabilities(
+        self, src: np.ndarray, dest: np.ndarray
+    ) -> np.ndarray | float | None:
+        if type(self).loss_probability is not LossyNetwork.loss_probability:
+            return None
         return self.ucastl
 
 
@@ -253,6 +385,7 @@ class PartitionedNetwork(LossyNetwork):
         partl: float = 0.5,
         ucastl: float = 0.25,
         heal_at: int | None = None,
+        partition_of_block: Callable[[np.ndarray], np.ndarray] | None = None,
         **kwargs,
     ):
         if not 0.0 <= partl <= 1.0:
@@ -264,6 +397,13 @@ class PartitionedNetwork(LossyNetwork):
         self.partl = partl
         self.heal_at = heal_at
         self._healed = False
+        #: Vectorized ``partition_of`` (node-id array -> label array).
+        #: Optional because ``partition_of`` is an opaque callable the
+        #: model cannot vectorize itself; without it the network simply
+        #: opts out of block planning (``block_loss_probabilities`` is
+        #: None) and the engine falls back to per-message planning —
+        #: same results either way.
+        self._partition_of_block = partition_of_block
         if callable(partition_of):
             self._partition_of = partition_of
         else:
@@ -289,6 +429,42 @@ class PartitionedNetwork(LossyNetwork):
         if self.crosses_partition(message):
             return self.partl
         return self.ucastl
+
+    def _block_crossings(
+        self, src: np.ndarray, dest: np.ndarray
+    ) -> np.ndarray | None:
+        if (
+            self._partition_of_block is None
+            or type(self).crosses_partition
+            is not PartitionedNetwork.crosses_partition
+        ):
+            return None
+        if self._healed:
+            return np.zeros(len(src), dtype=bool)
+        labels = self._partition_of_block
+        return labels(src) != labels(dest)
+
+    def block_loss_probabilities(
+        self, src: np.ndarray, dest: np.ndarray
+    ) -> np.ndarray | float | None:
+        if (
+            type(self).loss_probability
+            is not PartitionedNetwork.loss_probability
+        ):
+            return None
+        crossings = self._block_crossings(src, dest)
+        if crossings is None:
+            return None
+        return np.where(crossings, self.partl, self.ucastl)
+
+    def _note_block_losses(
+        self, src: np.ndarray, dest: np.ndarray, lost: np.ndarray
+    ) -> None:
+        crossings = self._block_crossings(src, dest)
+        if crossings is not None:
+            self.stats.dropped_cross_partition += int(
+                (lost & crossings).sum()
+            )
 
     def plan_delivery(self, message: Message, rngs: RngRegistry):
         crossing = self.crosses_partition(message)

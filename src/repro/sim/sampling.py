@@ -40,7 +40,9 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["BlockedSampler", "DEFAULT_BLOCK"]
+import numpy as np
+
+__all__ = ["BlockedSampler", "SamplerBank", "DEFAULT_BLOCK", "BANK_BLOCK"]
 
 #: Doubles drawn per refill.  Large enough to amortize the Generator
 #: call across many rounds (a gossip round consumes ~3 doubles), small
@@ -109,3 +111,98 @@ class BlockedSampler:
             t = int(self.uniform() * (j + 1))
             picked.append(j if t in picked else t)
         return picked
+
+
+#: Doubles per :class:`SamplerBank` row refill.  Smaller than
+#: :data:`DEFAULT_BLOCK` because a bank holds one buffer row per member
+#: (N rows at N >= 10^6); like every block size here it never affects
+#: the values drawn (stream-compatibility guarantee above).
+BANK_BLOCK = 64
+
+
+class SamplerBank:
+    """Block-drawn uniform doubles over *many* per-member streams at once.
+
+    One row per member, each backed by its own ``Generator`` (the
+    registry's ``process/<id>/gossip`` stream).  A row's value sequence
+    is exactly what a per-member :class:`BlockedSampler` would produce —
+    refills preserve undrawn leftovers and consume the stream through
+    ``Generator.random`` only, so the stream-compatibility guarantee
+    makes the values independent of how refills are batched.  The array
+    engine draws gossip-target matrices for whole member blocks via
+    :meth:`draw_matrix` and hands single rows to payload builders via
+    :meth:`row_sampler`.
+    """
+
+    __slots__ = ("_rngs", "_block", "_buf", "_pos")
+
+    def __init__(self, generators, block: int = BANK_BLOCK):
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self._rngs = list(generators)
+        self._block = block
+        rows = len(self._rngs)
+        self._buf = np.empty((rows, block), dtype=np.float64)
+        # Every row starts exhausted; the first draw refills it.
+        self._pos = np.full(rows, block, dtype=np.int64)
+
+    def _refill(self, row: int) -> None:
+        """Top the row's buffer back up to ``block`` undrawn doubles."""
+        buf, block = self._buf, self._block
+        pos = int(self._pos[row])
+        remaining = block - pos
+        if remaining:
+            # Undrawn leftovers stay at the front: every double the
+            # generator produced is eventually served in order.
+            buf[row, :remaining] = buf[row, pos:]
+        buf[row, remaining:] = self._rngs[row].random(pos)
+        self._pos[row] = 0
+
+    def draw_matrix(self, rows: np.ndarray, k: int) -> np.ndarray:
+        """The next ``k`` doubles of each (distinct) row, as ``(m, k)``.
+
+        Row ``i`` of the result holds ``rows[i]``'s next ``k`` stream
+        values in draw order — exactly the doubles ``k`` scalar
+        ``uniform()`` calls on that member's sampler would return.
+        """
+        if k > self._block:
+            raise ValueError(
+                f"k={k} exceeds the bank block size {self._block}"
+            )
+        pos = self._pos
+        if k == 0 or len(rows) == 0:
+            return np.empty((len(rows), k), dtype=np.float64)
+        for row in rows[pos[rows] + k > self._block]:
+            self._refill(int(row))
+        starts = pos[rows]
+        out = self._buf[rows[:, None], starts[:, None] + np.arange(k)]
+        pos[rows] = starts + k
+        return out
+
+    def row_sampler(self, row: int) -> "BlockedSampler":
+        """A scalar :class:`BlockedSampler` view of one bank row."""
+        return _RowSampler(self, row)
+
+
+class _RowSampler(BlockedSampler):
+    """One :class:`SamplerBank` row behind the scalar sampler interface.
+
+    Shares the row's buffer position with the bank, so interleaving
+    matrix draws and scalar draws serves one continuous stream.
+    """
+
+    __slots__ = ("_bank", "_row")
+
+    def __init__(self, bank: SamplerBank, row: int):
+        self._bank = bank
+        self._row = row
+
+    def uniform(self) -> float:
+        bank = self._bank
+        row = self._row
+        pos = int(bank._pos[row])
+        if pos >= bank._block:
+            bank._refill(row)
+            pos = 0
+        bank._pos[row] = pos + 1
+        return bank._buf[row, pos]
