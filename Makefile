@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-figures chaos-smoke trace-smoke figures examples clean
+.PHONY: install test lint bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -35,6 +35,23 @@ chaos-smoke:      ## small deterministic chaos-campaign matrix + bound check
 		--campaign paper-iid --campaign crash-storm \
 		--campaign rack-failure --campaign partition-heal \
 		--n 64 --runs 2 --seed 0 --jobs auto --assert-bound
+
+chaos-adversarial-smoke: ## adversarial campaigns: detection + matrix byte-identity
+	REPRO_SANITIZE=1 PYTHONPATH=src python -m pytest -x -q \
+		tests/integration/test_adversarial.py
+	PYTHONPATH=src python -m repro chaos --matrix \
+		--campaign tamper-forge --campaign tamper-replay \
+		--campaign sybil-storm --campaign region-outage \
+		--n 48 --runs 1 --seed 0 --jobs 1 \
+		--json /tmp/repro-matrix-j1.json --csv /tmp/repro-matrix-j1.csv
+	PYTHONPATH=src python -m repro chaos --matrix \
+		--campaign tamper-forge --campaign tamper-replay \
+		--campaign sybil-storm --campaign region-outage \
+		--n 48 --runs 1 --seed 0 --jobs 2 \
+		--json /tmp/repro-matrix-j2.json --csv /tmp/repro-matrix-j2.csv
+	cmp /tmp/repro-matrix-j1.json /tmp/repro-matrix-j2.json
+	cmp /tmp/repro-matrix-j1.csv /tmp/repro-matrix-j2.csv
+	@echo "adversarial smoke ok: detection asserted, matrix byte-identical across --jobs"
 
 trace-smoke:      ## run one traced aggregation, validate the JSONL, check layering
 	PYTHONPATH=src python -m repro trace --n 64 --ucastl 0.4 --seed 1 \

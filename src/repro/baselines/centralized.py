@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.messages import Dissemination, VoteReport
 from repro.core.protocol import AggregationProcess
@@ -71,9 +72,18 @@ class CentralizedProcess(AggregationProcess):
 
     def on_message(self, ctx: Context, message: Message) -> None:
         payload = message.payload
+        screen = sanitize.SCREEN
         if isinstance(payload, VoteReport) and self.is_leader:
+            if screen is not None and not screen(
+                self, ctx.round, 1, payload.member_id, payload.state
+            ):
+                return  # quarantined: adversarial content detected
             self.collected.setdefault(payload.member_id, payload.state)
         elif isinstance(payload, Dissemination) and self.result is None:
+            if screen is not None and not screen(
+                self, ctx.round, 2, None, payload.state
+            ):
+                return
             self.result = payload.state
             ctx.terminate()
 

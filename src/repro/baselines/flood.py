@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.messages import VoteReport
 from repro.core.protocol import AggregationProcess
@@ -55,6 +56,11 @@ class FloodProcess(AggregationProcess):
     def on_message(self, ctx: Context, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, VoteReport):
+            screen = sanitize.SCREEN
+            if screen is not None and not screen(
+                self, ctx.round, 1, payload.member_id, payload.state
+            ):
+                return  # quarantined: adversarial content detected
             self.received.setdefault(payload.member_id, payload.state)
 
     def on_round(self, ctx: Context) -> None:

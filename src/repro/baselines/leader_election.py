@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.gridbox import GridAssignment, SubtreeId
 from repro.core.messages import AggregateReport, Dissemination
@@ -112,16 +113,25 @@ class LeaderElectionProcess(AggregationProcess):
     # -- engine callbacks -------------------------------------------------------
     def on_message(self, ctx: Context, message: Message) -> None:
         payload = message.payload
+        screen = sanitize.SCREEN
         if isinstance(payload, AggregateReport):
             length, __ = payload.subtree_key
             # The child key's prefix length identifies the aggregation
             # phase this report belongs to (child of a height-i subtree
             # has prefix length digits + 2 - i).
             phase = self.assignment.hierarchy.digits + 2 - length
+            if screen is not None and not screen(
+                self, ctx.round, phase, payload.subtree_key, payload.state
+            ):
+                return  # quarantined: adversarial content detected
             bucket = self._reports.setdefault(phase, {})
             bucket.setdefault(payload.subtree_key, payload.state)
         elif isinstance(payload, Dissemination):
             if self._global is None:
+                if screen is not None and not screen(
+                    self, ctx.round, self.num_phases, None, payload.state
+                ):
+                    return
                 self._global = payload.state
 
     def on_round(self, ctx: Context) -> None:

@@ -20,6 +20,7 @@ from repro.chaos.campaign import (
     ChaosNetwork,
     CompiledCampaign,
 )
+from repro.chaos.adversary import AdversarialSummary, TamperPlanner
 from repro.chaos.campaigns import CAMPAIGNS, campaign_names, get_campaign
 from repro.chaos.events import (
     ChurnWindow,
@@ -28,7 +29,10 @@ from repro.chaos.events import (
     FaultEvent,
     LatencyBurst,
     LossBurst,
+    MessageTampering,
     PartitionWindow,
+    RegionPartition,
+    SybilJoinStorm,
 )
 
 __all__ = [
@@ -47,4 +51,9 @@ __all__ = [
     "PartitionWindow",
     "LossBurst",
     "LatencyBurst",
+    "MessageTampering",
+    "SybilJoinStorm",
+    "RegionPartition",
+    "TamperPlanner",
+    "AdversarialSummary",
 ]

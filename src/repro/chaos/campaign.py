@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.chaos.adversary import TamperPlanner
 from repro.chaos.events import (
     ChurnWindow,
     CorrelatedCrash,
@@ -36,10 +37,14 @@ from repro.chaos.events import (
     FaultEvent,
     LatencyBurst,
     LossBurst,
+    MessageTampering,
     PartitionWindow,
+    RegionPartition,
+    SybilJoinStorm,
 )
 from repro.sim.failures import CrashWithoutRecovery, FailureModel
 from repro.sim.network import Message, Network
+from repro.topology.regions import RegionMap
 
 __all__ = [
     "ChaosCampaign",
@@ -53,6 +58,28 @@ __all__ = [
 def _to_round(fraction: float, horizon: int) -> int:
     """Resolve a [0, 1] timeline fraction to an absolute round number."""
     return min(max(0, int(fraction * horizon)), max(0, horizon - 1))
+
+
+def _reject_overlapping_partitions(
+    campaign_name: str,
+    windows: Sequence[tuple[int, int, str]],
+) -> None:
+    """Raise if two partition windows (of any kind) are ever concurrent.
+
+    The network holds exactly one partition state at a time, so two
+    active windows would silently last-write-win.  ``windows`` are
+    resolved ``(start_round, stop_round, kind)`` triples.
+    """
+    ordered = sorted(windows)
+    for first, second in zip(ordered, ordered[1:]):
+        if second[0] < first[1]:
+            raise ValueError(
+                f"campaign {campaign_name!r}: partition events overlap — "
+                f"{first[2]} rounds [{first[0]}, {first[1]}) and "
+                f"{second[2]} rounds [{second[0]}, {second[1]}) are "
+                f"concurrent; the network can hold only one partition "
+                f"at a time"
+            )
 
 
 class ChaosNetwork(Network):
@@ -76,6 +103,18 @@ class ChaosNetwork(Network):
         self.current_extra_latency = 0
         #: Active partition: (parts, partl), or None when whole.
         self.partition: tuple[int, float] | None = None
+        #: Active WAN region partition, or None:
+        #: (member -> region map, isolated regions, outbound, inbound, wan).
+        self.region_state: (
+            tuple[dict[int, int], frozenset[int], float, float, float]
+            | None
+        ) = None
+        #: Adversarial snoop/injector.  When set, every planned message
+        #: is offered to ``planner.observe`` — which requires per-message
+        #: planning, so block planning is disabled for the whole run
+        #: (stream-identical: the fallback consumes the loss stream in
+        #: send order).
+        self.planner: TamperPlanner | None = None
 
     def crosses_partition(self, message: Message) -> bool:
         if self.partition is None:
@@ -83,9 +122,43 @@ class ChaosNetwork(Network):
         parts, __ = self.partition
         return message.src % parts != message.dest % parts
 
+    def _region_pair(self, message: Message) -> tuple[int, int] | None:
+        """(src region, dest region) when both are mapped and differ."""
+        state = self.region_state
+        if state is None:
+            return None
+        region_of = state[0]
+        src_region = region_of.get(message.src, -1)
+        dest_region = region_of.get(message.dest, -1)
+        if src_region < 0 or dest_region < 0 or src_region == dest_region:
+            return None
+        return src_region, dest_region
+
+    def crosses_region(self, message: Message) -> bool:
+        return self._region_pair(message) is not None
+
+    def _region_loss(self, message: Message) -> float | None:
+        """The WAN loss floor for a cross-region message, else None."""
+        state = self.region_state
+        if state is None:
+            return None
+        pair = self._region_pair(message)
+        if pair is None:
+            return None
+        __, isolated, outbound, inbound, wan = state
+        src_region, dest_region = pair
+        if src_region in isolated:
+            return outbound
+        if dest_region in isolated:
+            return inbound
+        return wan
+
     def loss_probability(self, message: Message) -> float:
         if self.partition is not None and self.crosses_partition(message):
             return max(self.partition[1], self.current_loss)
+        region_loss = self._region_loss(message)
+        if region_loss is not None:
+            return max(region_loss, self.current_loss)
         return self.current_loss
 
     def latency(self, message: Message, rng) -> int:
@@ -103,6 +176,12 @@ class ChaosNetwork(Network):
             or type(self).crosses_partition
             is not ChaosNetwork.crosses_partition
         ):
+            return None
+        if self.planner is not None or self.region_state is not None:
+            # Per-message planning required (adversarial snoop, or
+            # region-pair loss floors the block path doesn't model).
+            # The scalar fallback consumes the loss stream in the same
+            # send order, so opting out is stream-identical.
             return None
         crossings = self._block_crossings(src, dest)
         if crossings is None:
@@ -127,11 +206,17 @@ class ChaosNetwork(Network):
             )
 
     def plan_delivery(self, message: Message, rngs):
+        if self.planner is not None:
+            self.planner.observe(message)
         crossing = self.crosses_partition(message)
+        region_crossing = self.crosses_region(message)
         before = self.stats.dropped
         outcome = super().plan_delivery(message, rngs)
-        if crossing and outcome is None and self.stats.dropped == before + 1:
-            self.stats.dropped_cross_partition += 1
+        if outcome is None and self.stats.dropped == before + 1:
+            if crossing:
+                self.stats.dropped_cross_partition += 1
+            if region_crossing:
+                self.stats.dropped_cross_region += 1
         return outcome
 
 
@@ -151,11 +236,20 @@ class CampaignController:
         loss_windows: Sequence[tuple[int, int, float]] = (),
         latency_windows: Sequence[tuple[int, int, int]] = (),
         partition_windows: Sequence[tuple[int, int, int, float]] = (),
+        loss_delta_windows: Sequence[tuple[int, int, float]] = (),
+        region_windows: Sequence[
+            tuple[int, int, dict[int, int], frozenset[int], float, float,
+                  float]
+        ] = (),
+        planner: TamperPlanner | None = None,
     ):
         self.network = network
         self.loss_windows = tuple(loss_windows)
         self.latency_windows = tuple(latency_windows)
         self.partition_windows = tuple(partition_windows)
+        self.loss_delta_windows = tuple(loss_delta_windows)
+        self.region_windows = tuple(region_windows)
+        self.planner = planner
         #: Rounds during which any window was active (telemetry).
         self.degraded_rounds = 0
 
@@ -165,6 +259,15 @@ class CampaignController:
         for start, stop, value in self.loss_windows:
             if start <= round_number < stop:
                 loss = max(loss, value)
+        # Additive bursts stack on top of the absolute floor; the sum is
+        # clamped so overlapping deltas on a nonzero base stay a valid
+        # probability.
+        delta_sum = 0.0
+        for start, stop, delta in self.loss_delta_windows:
+            if start <= round_number < stop:
+                delta_sum += delta
+        if delta_sum > 0.0:
+            loss = min(1.0, loss + delta_sum)
         extra_latency = 0
         for start, stop, extra in self.latency_windows:
             if start <= round_number < stop:
@@ -173,16 +276,27 @@ class CampaignController:
         for start, stop, parts, partl in self.partition_windows:
             if start <= round_number < stop:
                 partition = (parts, partl)
+        region_state = None
+        for (start, stop, region_of, isolated, outbound, inbound,
+             wan) in self.region_windows:
+            if start <= round_number < stop:
+                region_state = (region_of, isolated, outbound, inbound, wan)
         degraded = (
             loss != network.base_loss
             or extra_latency > 0
             or partition is not None
+            or region_state is not None
         )
         if degraded:
             self.degraded_rounds += 1
         network.current_loss = loss
         network.current_extra_latency = extra_latency
         network.partition = partition
+        network.region_state = region_state
+        if self.planner is not None:
+            # Last: injections for this round are crafted after the
+            # network state above is in place.
+            self.planner.on_begin_round(round_number)
 
 
 class CampaignFailureModel(FailureModel):
@@ -275,13 +389,16 @@ class CompiledCampaign:
     network: ChaosNetwork
     failure_model: CampaignFailureModel
     controller: CampaignController
+    planner: TamperPlanner | None = None
 
     def install(self, engine) -> None:
         """Subscribe the controller to the engine's begin-round bus.
 
         The engine must be driving this campaign's network and failure
         model — installing onto a different world would silently split
-        the timeline in two.
+        the timeline in two.  Adversarial campaigns additionally bind
+        the tamper planner to the network and the run's seeded
+        ``adversary`` stream here.
         """
         if engine.network is not self.network:
             raise ValueError(
@@ -291,6 +408,8 @@ class CompiledCampaign:
             raise ValueError(
                 "engine.failure_model is not this campaign's compiled model"
             )
+        if self.planner is not None:
+            self.planner.bind(self.network, engine.rngs.stream("adversary"))
         engine.round_bus.subscribe(self.controller.on_begin_round)
 
 
@@ -325,6 +444,16 @@ class ChaosCampaign:
                 f"only independent loss and per-round crashes"
             )
 
+    @property
+    def adversarial(self) -> bool:
+        """True when the campaign injects Byzantine traffic (tampered
+        messages or Sybil identities) rather than only crash/omission
+        faults — such campaigns need the sanitizer's detection oracle."""
+        return any(
+            isinstance(event, (MessageTampering, SybilJoinStorm))
+            for event in self.events
+        )
+
     def compile(
         self,
         horizon: int,
@@ -347,8 +476,12 @@ class ChaosCampaign:
         rack_wipes: list[tuple[int, float, int | None]] = []
         churn: list[tuple[int, int, float, int, int]] = []
         loss_windows: list[tuple[int, int, float]] = []
+        loss_delta_windows: list[tuple[int, int, float]] = []
         latency_windows: list[tuple[int, int, int]] = []
         partition_windows: list[tuple[int, int, int, float]] = []
+        tamper_windows: list[tuple[int, int, float, str]] = []
+        sybil_storms: list[tuple[int, int, int, int]] = []
+        region_events: list[tuple[int, int, RegionPartition]] = []
 
         def window(start: float, stop: float) -> tuple[int, int]:
             start_round = _to_round(start, horizon)
@@ -379,21 +512,93 @@ class ChaosCampaign:
                 partition_windows.append(
                     (start, stop, event.parts, event.partl)
                 )
+            elif isinstance(event, RegionPartition):
+                start, stop = window(event.start, event.stop)
+                region_events.append((start, stop, event))
             elif isinstance(event, LossBurst):
                 start, stop = window(event.start, event.stop)
-                loss_windows.append((start, stop, event.loss))
+                if event.loss is not None:
+                    loss_windows.append((start, stop, event.loss))
+                else:
+                    assert event.delta is not None
+                    loss_delta_windows.append((start, stop, event.delta))
             elif isinstance(event, LatencyBurst):
                 start, stop = window(event.start, event.stop)
                 latency_windows.append((start, stop, event.extra_rounds))
+            elif isinstance(event, MessageTampering):
+                start, stop = window(event.start, event.stop)
+                tamper_windows.append((start, stop, event.rate, event.mode))
+            elif isinstance(event, SybilJoinStorm):
+                sybil_storms.append(
+                    (
+                        _to_round(event.at, horizon),
+                        event.count,
+                        event.pow_bits,
+                        event.pow_budget,
+                    )
+                )
             else:  # pragma: no cover - guarded by __post_init__
                 raise TypeError(f"unknown event type {type(event).__name__}")
 
+        # Two partitions (modulo-class or region) active at once would
+        # silently last-write-win inside the controller — reject at
+        # compile time instead.
+        _reject_overlapping_partitions(
+            self.name,
+            [(start, stop, "PartitionWindow")
+             for start, stop, *__ in partition_windows]
+            + [(start, stop, "RegionPartition")
+               for start, stop, __ in region_events],
+        )
+
+        region_windows: list[
+            tuple[int, int, dict[int, int], frozenset[int], float, float,
+                  float]
+        ] = []
+        for start, stop, event in region_events:
+            if not box_groups:
+                raise ValueError(
+                    f"campaign {self.name!r}: a RegionPartition event "
+                    f"needs box_groups (the member-by-grid-box partition) "
+                    f"to derive the WAN region assignment from"
+                )
+            region_map = RegionMap(box_groups, event.num_regions)
+            region_windows.append(
+                (
+                    start,
+                    stop,
+                    dict(region_map.region_of_member),
+                    frozenset(event.isolated),
+                    event.outbound_loss,
+                    event.inbound_loss,
+                    event.wan_loss,
+                )
+            )
+
+        planner: TamperPlanner | None = None
+        if tamper_windows or sybil_storms:
+            if not box_groups:
+                raise ValueError(
+                    f"campaign {self.name!r}: adversarial events "
+                    f"(MessageTampering / SybilJoinStorm) need box_groups "
+                    f"to know the genuine membership they impersonate"
+                )
+            planner = TamperPlanner(
+                tamper_windows=tamper_windows,
+                sybil_storms=sybil_storms,
+                box_groups=box_groups,
+            )
+
         network = ChaosNetwork(base_loss=base_loss, **network_kwargs)
+        network.planner = planner
         controller = CampaignController(
             network,
             loss_windows=loss_windows,
             latency_windows=latency_windows,
             partition_windows=partition_windows,
+            loss_delta_windows=loss_delta_windows,
+            region_windows=region_windows,
+            planner=planner,
         )
         failure_model = CampaignFailureModel(
             base_pf=base_pf,
@@ -408,4 +613,5 @@ class ChaosCampaign:
             network=network,
             failure_model=failure_model,
             controller=controller,
+            planner=planner,
         )

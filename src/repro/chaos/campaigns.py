@@ -23,7 +23,10 @@ from repro.chaos.events import (
     CrashStorm,
     LatencyBurst,
     LossBurst,
+    MessageTampering,
     PartitionWindow,
+    RegionPartition,
+    SybilJoinStorm,
 )
 
 __all__ = ["CAMPAIGNS", "get_campaign", "campaign_names"]
@@ -107,6 +110,85 @@ CAMPAIGNS: dict[str, ChaosCampaign] = {
             events=(
                 LatencyBurst(start=0.30, stop=0.50, extra_rounds=3),
                 LossBurst(start=0.30, stop=0.50, loss=0.40),
+            ),
+        ),
+        ChaosCampaign(
+            name="tamper-forge",
+            description=(
+                "Byzantine forgery: from 10% to 80% of the run an "
+                "in-network adversary snoops traffic and injects two "
+                "corrupted copies per round — genuine keys carrying "
+                "payloads whose mass/count channels were rewritten.  The "
+                "detection oracle must catch every forged contribution "
+                "that reaches a merge path."
+            ),
+            events=(MessageTampering(start=0.10, stop=0.80, rate=2.0,
+                                     mode="forge"),),
+        ),
+        ChaosCampaign(
+            name="tamper-replay",
+            description=(
+                "Duplicates and stale replays: one re-keyed duplicate "
+                "(another member's genuine contribution presented under a "
+                "different id) and one byte-identical stale replay per "
+                "round across the middle of the run.  Duplicates must be "
+                "caught as double-count violations; replays are benign by "
+                "design and must NOT be flagged."
+            ),
+            events=(
+                MessageTampering(start=0.10, stop=0.80, rate=1.0,
+                                 mode="duplicate"),
+                MessageTampering(start=0.10, stop=0.80, rate=1.0,
+                                 mode="replay"),
+            ),
+        ),
+        ChaosCampaign(
+            name="tamper-control",
+            description=(
+                "No-false-positive control: the adversary is armed (the "
+                "oracle screens every contribution) but its injection "
+                "rate is zero — any detection in this campaign is a "
+                "false positive."
+            ),
+            events=(MessageTampering(start=0.10, stop=0.80, rate=0.0,
+                                     mode="forge"),),
+        ),
+        ChaosCampaign(
+            name="sybil-storm",
+            description=(
+                "Open-admission join storm: 40 fake identities minted at "
+                "10% of the run hash themselves into grid boxes and spam "
+                "contributions under member ids that were never part of "
+                "the group; no admission control (pow_bits=0)."
+            ),
+            events=(SybilJoinStorm(at=0.10, count=40),),
+        ),
+        ChaosCampaign(
+            name="sybil-pow",
+            description=(
+                "The same join storm gated by proof-of-work admission: "
+                "each identity must find an 8-leading-zero-bit hash nonce "
+                "within its 64-try work budget before any of its traffic "
+                "enters the network — the storm is throttled (~4x fewer "
+                "admitted identities), not detected."
+            ),
+            events=(SybilJoinStorm(at=0.10, count=40, pow_bits=8,
+                                   pow_budget=64),),
+        ),
+        ChaosCampaign(
+            name="region-outage",
+            description=(
+                "Asymmetric WAN outage: members map onto 3 regions by "
+                "contiguous grid-box prefix; from 20% to 60% of the run "
+                "region 0 is isolated — 95% loss outbound, 70% inbound — "
+                "while the healthy regions keep a 35% WAN loss floor "
+                "between each other."
+            ),
+            events=(
+                RegionPartition(
+                    start=0.20, stop=0.60, num_regions=3, isolated=(0,),
+                    outbound_loss=0.95, inbound_loss=0.70, wan_loss=0.35,
+                ),
             ),
         ),
     )

@@ -139,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="list available campaigns and exit",
     )
     chaos_parser.add_argument(
+        "--matrix", action="store_true",
+        help="cross-baseline mode: run every campaign (benign and "
+             "adversarial) against hierarchical gossip and the flood / "
+             "centralized / leader-election baselines at one (N, K, "
+             "fanout) point, reporting completeness, message overhead "
+             "and the adversarial detection rate per cell",
+    )
+    chaos_parser.add_argument(
+        "--protocol", action="append", default=None, metavar="P",
+        help="protocol for --matrix (repeatable; default: hierarchical_"
+             "gossip flood centralized leader_election)",
+    )
+    chaos_parser.add_argument(
         "--campaign", action="append", default=None, metavar="NAME",
         help="campaign to run (repeatable; default: all campaigns)",
     )
@@ -316,6 +329,8 @@ def _run_chaos(args: argparse.Namespace) -> int:
             print(f"{name:<16} {CAMPAIGNS[name].description}")
         return 0
     campaigns = tuple(args.campaign) if args.campaign else None
+    if args.matrix:
+        return _run_chaos_matrix(args, campaigns)
     report = robustness_matrix(
         campaigns=campaigns,
         ns=tuple(args.n) if args.n else (64, 256),
@@ -344,6 +359,43 @@ def _run_chaos(args: argparse.Namespace) -> int:
     if args.assert_bound and report.violations:
         print(f"BOUND VIOLATED in {len(report.violations)} cell(s)")
         return 1
+    return 0
+
+
+def _run_chaos_matrix(
+    args: argparse.Namespace, campaigns: tuple[str, ...] | None
+) -> int:
+    from repro.experiments.robustness import (
+        MATRIX_PROTOCOLS,
+        robustness_comparison,
+    )
+
+    matrix = robustness_comparison(
+        campaigns=campaigns,
+        protocols=(
+            tuple(args.protocol) if args.protocol else MATRIX_PROTOCOLS
+        ),
+        n=args.n[0] if args.n else 64,
+        k=args.k[0] if args.k else 4,
+        fanout=args.fanout[0] if args.fanout else 6,
+        runs=args.runs,
+        seed=args.seed,
+        ucastl=args.ucastl,
+        pf=args.pf,
+        jobs=args.jobs,
+    )
+    print(matrix.render())
+    if args.json:
+        if args.json == "-":
+            print(matrix.to_json(), end="")
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(matrix.to_json())
+            print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(matrix.to_csv())
+        print(f"wrote {args.csv}")
     return 0
 
 

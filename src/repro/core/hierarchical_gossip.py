@@ -519,17 +519,26 @@ class HierarchicalGossipProcess(AggregationProcess):
                 return
             if len(seen) < self._SEEN_CAP:
                 seen[id(payload)] = payload
+        screen = sanitize.SCREEN
         for key, state in entries:
+            if screen is not None and not screen(
+                self, ctx.round, phase, key, state
+            ):
+                continue  # quarantined: adversarial content detected
             self._accept(bucket, key, state)
 
-    def absorb_payloads(self, payloads: Iterable[object]) -> bool:
+    def absorb_payloads(
+        self, payloads: Iterable[object], round_number: int = 0
+    ) -> bool:
         """Batched :meth:`on_message` over one round's arrived payloads.
 
         The array-stepped engine's merge entry point: applies each
         payload exactly as a per-message ``on_message`` call would (same
         stale / current / future routing, same dedupe, same
-        ``_phase_received`` accounting) and reports whether ``known``
-        changed — the engine's advance-candidate signal.  Valid only
+        ``_phase_received`` accounting, same adversarial admission
+        screen — ``round_number`` is the engine round, for detection
+        attribution) and reports whether ``known`` changed — the
+        engine's advance-candidate signal.  Valid only
         for push-free configurations (no push-pull replies are
         generated here); the engine's fast-path gate guarantees that.
         Phase advancement is *not* attempted — the engine drives
@@ -541,6 +550,7 @@ class HierarchicalGossipProcess(AggregationProcess):
         version_before = self._known_version
         my_phase = self.phase
         seen = self._seen_payloads
+        screen = sanitize.SCREEN
         for payload in payloads:
             if isinstance(payload, GossipBatch):
                 phase = payload.phase
@@ -563,6 +573,10 @@ class HierarchicalGossipProcess(AggregationProcess):
                 if len(seen) < self._SEEN_CAP:
                     seen[id(payload)] = payload
             for key, state in entries:
+                if screen is not None and not screen(
+                    self, round_number, phase, key, state
+                ):
+                    continue  # quarantined: adversarial content detected
                 self._accept(bucket, key, state)
         return self._known_version != version_before
 

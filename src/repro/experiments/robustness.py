@@ -33,6 +33,7 @@ from dataclasses import asdict, dataclass
 
 from repro.analysis.epidemic import effective_contact_rate
 from repro.chaos import campaign_names, get_campaign
+from repro.chaos.adversary import AdversarialSummary, merge_adversarial
 from repro.experiments.parallel import run_many
 from repro.experiments.params import RunConfig, with_params
 from repro.obs.telemetry import TelemetrySummary, merge_summaries
@@ -41,6 +42,10 @@ __all__ = [
     "RobustnessCell",
     "RobustnessReport",
     "robustness_matrix",
+    "MatrixCell",
+    "RobustnessComparison",
+    "robustness_comparison",
+    "MATRIX_PROTOCOLS",
     "MIN_K",
     "MIN_B",
 ]
@@ -289,4 +294,220 @@ def robustness_matrix(
         ))
     return RobustnessReport(
         cells=tuple(cells), seed=seed, runs_per_cell=runs
+    )
+
+# -- cross-baseline robustness matrix -----------------------------------
+
+#: The protocols the ``repro chaos --matrix`` mode compares: the paper's
+#: hierarchical gossip plus every baseline a campaign can stress the
+#: same way (flat_gossip is excluded — it shares the gossip code path
+#: and adds no architectural contrast).
+MATRIX_PROTOCOLS = (
+    "hierarchical_gossip", "flood", "centralized", "leader_election",
+)
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (campaign, protocol) point of the robustness comparison."""
+
+    campaign: str
+    protocol: str
+    #: True when the campaign injects Byzantine traffic (the detection
+    #: oracle was armed for these runs).
+    adversarial: bool
+    runs: int
+    mean_completeness: float
+    min_completeness: float
+    mean_coverage: float
+    #: Messages sent per member per run (the overhead axis).
+    messages_per_member: float
+    mean_crashes: float
+    #: Merged adversary accounting; ``None`` on benign campaigns.
+    adversary: AdversarialSummary | None = None
+
+    @property
+    def detection_rate(self) -> float | None:
+        """Merged detection rate, or ``None`` on benign campaigns."""
+        if self.adversary is None:
+            return None
+        return self.adversary.detection_rate
+
+
+@dataclass(frozen=True)
+class RobustnessComparison:
+    """The campaign × protocol matrix ``repro chaos --matrix`` prints."""
+
+    cells: tuple[MatrixCell, ...]
+    n: int
+    k: int
+    fanout_m: int
+    seed: int
+    runs_per_cell: int
+
+    def to_json(self) -> str:
+        """Deterministic JSON document (no timestamps)."""
+        document = {
+            "schema": "repro-robustness-matrix/1",
+            "n": self.n,
+            "k": self.k,
+            "fanout_m": self.fanout_m,
+            "seed": self.seed,
+            "runs_per_cell": self.runs_per_cell,
+            "protocols": list(MATRIX_PROTOCOLS),
+            "cells": [
+                {
+                    "campaign": cell.campaign,
+                    "protocol": cell.protocol,
+                    "adversarial": cell.adversarial,
+                    "runs": cell.runs,
+                    "mean_completeness": round(cell.mean_completeness, 6),
+                    "min_completeness": round(cell.min_completeness, 6),
+                    "mean_coverage": round(cell.mean_coverage, 6),
+                    "messages_per_member": round(
+                        cell.messages_per_member, 3
+                    ),
+                    "mean_crashes": round(cell.mean_crashes, 3),
+                    "detection_rate": (
+                        None if cell.detection_rate is None
+                        else round(cell.detection_rate, 6)
+                    ),
+                    "adversary": (
+                        cell.adversary.to_record()
+                        if cell.adversary is not None else None
+                    ),
+                }
+                for cell in self.cells
+            ],
+        }
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        header = (
+            "campaign,protocol,adversarial,runs,mean_completeness,"
+            "min_completeness,mean_coverage,messages_per_member,"
+            "mean_crashes,detection_rate,injected,reached,detected,"
+            "false_positives"
+        )
+        rows = [header]
+        for c in self.cells:
+            a = c.adversary
+            adversary_cols = (
+                f"{c.detection_rate:.6f},{a.injected_total},{a.reached},"
+                f"{a.detected},{a.false_positives}"
+                if a is not None else ",,,,"
+            )
+            rows.append(
+                f"{c.campaign},{c.protocol},{c.adversarial},{c.runs},"
+                f"{c.mean_completeness:.6f},{c.min_completeness:.6f},"
+                f"{c.mean_coverage:.6f},{c.messages_per_member:.3f},"
+                f"{c.mean_crashes:.3f},{adversary_cols}"
+            )
+        return "\n".join(rows) + "\n"
+
+    def render(self) -> str:
+        """Human-readable matrix, byte-deterministic under a seed."""
+        lines = [
+            f"robustness matrix: N={self.n} K={self.k} M={self.fanout_m}, "
+            f"{self.runs_per_cell} runs/cell (seed {self.seed})",
+            f"{'campaign':<16} {'protocol':<20} {'complete':>9} "
+            f"{'coverage':>9} {'msgs/mbr':>9} {'detect':>7} {'fp':>3}",
+        ]
+        for c in self.cells:
+            # "-" both for benign campaigns and for adversarial cells
+            # where no planted contribution reached a screen (nothing to
+            # detect) — a numeric 0.000 would read as missed detections.
+            detect = (
+                f"{c.detection_rate:.3f}"
+                if c.adversary is not None and c.adversary.reached > 0
+                else "-"
+            )
+            fp = (
+                str(c.adversary.false_positives)
+                if c.adversary is not None else "-"
+            )
+            lines.append(
+                f"{c.campaign:<16} {c.protocol:<20} "
+                f"{c.mean_completeness:>9.6f} {c.mean_coverage:>9.6f} "
+                f"{c.messages_per_member:>9.3f} {detect:>7} {fp:>3}"
+            )
+        adversarial = [c for c in self.cells if c.adversary is not None]
+        if adversarial:
+            total = merge_adversarial([c.adversary for c in adversarial])
+            lines.append(
+                f"adversary totals: {total.injected_total} injected, "
+                f"{total.reached} reached a screen, {total.detected} "
+                f"detected ({total.detection_rate:.3f}), "
+                f"{total.false_positives} false positive(s)"
+            )
+        return "\n".join(lines)
+
+
+def robustness_comparison(
+    campaigns: tuple[str, ...] | None = None,
+    protocols: tuple[str, ...] = MATRIX_PROTOCOLS,
+    n: int = 64,
+    k: int = 4,
+    fanout: int = 6,
+    runs: int = 2,
+    seed: int = 0,
+    ucastl: float = 0.25,
+    pf: float = 0.001,
+    jobs: int | str | None = None,
+) -> RobustnessComparison:
+    """Every campaign (benign and adversarial) × every protocol.
+
+    The cross-baseline counterpart of :func:`robustness_matrix`: one
+    (N, K, fanout) point, but the full protocol axis — hierarchical
+    gossip against the flood / centralized / leader-election baselines —
+    under the full campaign library, reporting completeness, message
+    overhead and (for adversarial campaigns) the detection-oracle score.
+    All runs fan out in a single :func:`run_many` call and the rendered
+    table, CSV and JSON are byte-identical for any ``jobs`` value.
+    """
+    if campaigns is None:
+        campaigns = campaign_names()
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    grid: list[tuple[str, str]] = [
+        (name, protocol)
+        for name in campaigns
+        for protocol in protocols
+    ]
+    configs: list[RunConfig] = []
+    for name, protocol in grid:
+        get_campaign(name)  # fail fast on unknown names
+        for run_index in range(runs):
+            configs.append(with_params(
+                n=n, k=k, fanout_m=fanout, campaign=name,
+                protocol=protocol, ucastl=ucastl, pf=pf,
+                seed=seed + run_index,
+            ))
+    results = run_many(configs, jobs=jobs)
+    cells = []
+    for index, (name, protocol) in enumerate(grid):
+        cell_results = results[index * runs:(index + 1) * runs]
+        cells.append(MatrixCell(
+            campaign=name,
+            protocol=protocol,
+            adversarial=get_campaign(name).adversarial,
+            runs=runs,
+            mean_completeness=_mean(
+                [r.completeness for r in cell_results]
+            ),
+            min_completeness=min(
+                r.report.min_completeness for r in cell_results
+            ),
+            mean_coverage=_mean([r.mean_coverage for r in cell_results]),
+            messages_per_member=_mean(
+                [r.messages_sent / n for r in cell_results]
+            ),
+            mean_crashes=_mean([float(r.crashes) for r in cell_results]),
+            adversary=merge_adversarial(
+                [r.adversarial for r in cell_results]
+            ),
+        ))
+    return RobustnessComparison(
+        cells=tuple(cells), n=n, k=k, fanout_m=fanout, seed=seed,
+        runs_per_cell=runs,
     )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.baselines.centralized import build_centralized_group
 from repro.baselines.flat_gossip import build_flat_gossip_group
+from repro.chaos.adversary import AdversarialSummary
 from repro.baselines.flood import build_flood_group
 from repro.baselines.leader_election import build_leader_election_group
 from repro.core.aggregates import clear_mask_union_cache, get_aggregate
@@ -90,6 +91,9 @@ class RunResult:
     #: to :func:`run_once`.  Picklable, so it survives the
     #: ``ParallelRunner`` worker boundary.
     telemetry: TelemetrySummary | None = None
+    #: Adversary accounting (injection counts, detection rate) when the
+    #: run's campaign planted Byzantine traffic; ``None`` otherwise.
+    adversarial: AdversarialSummary | None = None
 
     @property
     def incompleteness(self) -> float:
@@ -358,16 +362,30 @@ def run_once(
     rngs = RngRegistry(seed=config.seed)
     votes = _make_votes(config, rngs)
     function = get_aggregate(config.aggregate)
-    if sanitize.ACTIVE:
-        # Ground truth for mass-conservation / foreign-member checks at
-        # every phase compose (see repro.sanitize).  Draws nothing and
-        # mutates nothing, so results are identical with or without it.
-        sanitize.begin_run(votes, function)
+    # Adversarial campaigns are meaningless without the detection oracle,
+    # so the sanitizer is force-enabled for them (and restored after).
+    force_sanitize = False
+    if config.campaign is not None and not sanitize.ACTIVE:
+        from repro.chaos import get_campaign
+
+        force_sanitize = get_campaign(config.campaign).adversarial
+    if force_sanitize:
+        sanitize.enable()
     try:
-        return _run_built(config, rngs, votes, function, telemetry)
-    finally:
         if sanitize.ACTIVE:
-            sanitize.end_run()
+            # Ground truth for mass-conservation / foreign-member checks
+            # at every phase compose (see repro.sanitize).  Draws nothing
+            # and mutates nothing, so results are identical with or
+            # without it.
+            sanitize.begin_run(votes, function)
+        try:
+            return _run_built(config, rngs, votes, function, telemetry)
+        finally:
+            if sanitize.ACTIVE:
+                sanitize.end_run()
+    finally:
+        if force_sanitize:
+            sanitize.disable()
 
 
 def _run_built(
@@ -408,8 +426,23 @@ def _run_built(
         engine.add_processes(processes)
         if compiled is not None:
             compiled.install(engine)
-    with telemetry.profile("simulate") if telemetry is not None else nullcontext():
-        engine.run()
+    planner = compiled.planner if compiled is not None else None
+    if planner is not None:
+        # Arm the detection oracle: repro.sanitize screens every
+        # contribution at the protocols' admission paths and scores
+        # catches against the planner's planted ground truth.
+        from repro import sanitize
+
+        sanitize.set_adversary(planner)
+    try:
+        with telemetry.profile("simulate") if telemetry is not None \
+                else nullcontext():
+            engine.run()
+    finally:
+        if planner is not None:
+            from repro import sanitize
+
+            sanitize.clear_adversary()
     with telemetry.profile("measure") if telemetry is not None else nullcontext():
         report = measure_completeness(processes, group_size=config.n)
         # Error is averaged over report.per_member's member set so the
@@ -451,6 +484,7 @@ def _run_built(
         mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
         telemetry=summary,
+        adversarial=planner.summary if planner is not None else None,
     )
     if telemetry is not None:
         # Recorded after construction so the exported trace's ``result``

@@ -81,6 +81,7 @@ def run_result_record(result: Any) -> dict:
     config = result.config
     report = result.report
     summary = getattr(result, "telemetry", None)
+    adversary = getattr(result, "adversarial", None)
     return {
         "schema": RUN_SCHEMA,
         "protocol": config.protocol,
@@ -107,6 +108,9 @@ def run_result_record(result: Any) -> dict:
         "survivors": report.survivors,
         "unfinished": report.unfinished,
         "telemetry": summary.to_record() if summary is not None else None,
+        "adversarial": (
+            adversary.to_record() if adversary is not None else None
+        ),
     }
 
 

@@ -41,20 +41,23 @@ from __future__ import annotations
 
 import math
 import os
-from collections.abc import Iterator, Mapping
+from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.aggregates import (
     AggregateFunction,
     AggregateState,
     DoubleCountError,
 )
+from repro.core.gridbox import SubtreeId
 
 __all__ = [
     "SanitizerViolation",
     "SanitizerError",
     "DoubleCountViolation",
+    "ForgedContribution",
     "enable",
     "disable",
     "enabled",
@@ -63,6 +66,10 @@ __all__ = [
     "composing",
     "check_compose",
     "check_phase_bump",
+    "set_adversary",
+    "clear_adversary",
+    "detections",
+    "clear_detections",
 ]
 
 #: Fast-path flag: hook sites test this before doing any work.
@@ -119,11 +126,36 @@ class DoubleCountViolation(SanitizerError, DoubleCountError):
     """
 
 
+class ForgedContribution(SanitizerError):
+    """A contribution whose content cannot be genuine.
+
+    Raised/recorded by the adversarial detection oracle when an arriving
+    contribution fails a check other than mask disjointness: a mask
+    naming ids that are not members of this run (Sybil votes), a count
+    channel disagreeing with the mask, or a payload that fails
+    ground-truth mass recomputation (tampered values).
+    """
+
+
 # -- run-scoped state ---------------------------------------------------
 #: Ground truth of the current run: (votes, function), set by begin_run.
 _GROUND_TRUTH: tuple[Mapping[int, float], AggregateFunction] | None = None
 #: (member, round, phase) of the compose in progress, for merge reports.
 _COMPOSE_CONTEXT: tuple[int, int, int] | None = None
+#: The run's :class:`~repro.chaos.adversary.TamperPlanner` (detection
+#: scoring ground truth), set by :func:`set_adversary`.
+_ADVERSARY: Any = None
+#: Attributed detections of the current run, in arrival order.
+_DETECTIONS: list[SanitizerError] = []
+
+#: The admission-screening hook protocol processes consult before
+#: accepting an arriving contribution:
+#: ``SCREEN(process, round, phase, key, state) -> bool`` (False =
+#: quarantine).  Bound only while the sanitizer is active *and* an
+#: adversary is registered — ``None`` otherwise, so benign runs pay one
+#: attribute read per payload and the sanitizer still never changes the
+#: results of a run it merely watches.
+SCREEN: Callable[..., bool] | None = None
 
 
 def enabled() -> bool:
@@ -137,6 +169,7 @@ def enable() -> None:
 
     aggregates._SANITIZE_HOOK = _on_merge
     ACTIVE = True
+    _rebind_screen()
 
 
 def disable() -> None:
@@ -148,6 +181,50 @@ def disable() -> None:
     ACTIVE = False
     _GROUND_TRUTH = None
     _COMPOSE_CONTEXT = None
+    _rebind_screen()
+
+
+def _rebind_screen() -> None:
+    global SCREEN
+    SCREEN = (
+        _screen_contribution if ACTIVE and _ADVERSARY is not None else None
+    )
+
+
+def set_adversary(planner) -> None:
+    """Register the run's tamper planner as detection ground truth.
+
+    Arms the :data:`SCREEN` admission hook (when the sanitizer is
+    active): every contribution a protocol process is about to admit is
+    screened first, violations are recorded as attributed detections,
+    and the planner is told which of its planted states reached the
+    oracle and which were caught.  Passing ``None`` (or calling
+    :func:`clear_adversary`) disarms the hook.
+    """
+    global _ADVERSARY
+    _ADVERSARY = planner
+    clear_detections()
+    _rebind_screen()
+
+
+def clear_adversary() -> None:
+    """Disarm the screen, keeping recorded detections inspectable.
+
+    Unlike :func:`set_adversary`, the detection log survives — callers
+    (tests, the matrix harness) read attribution after the run ends.
+    """
+    global _ADVERSARY
+    _ADVERSARY = None
+    _rebind_screen()
+
+
+def detections() -> tuple[SanitizerError, ...]:
+    """Attributed detections recorded since the adversary was set."""
+    return tuple(_DETECTIONS)
+
+
+def clear_detections() -> None:
+    _DETECTIONS.clear()
 
 
 def begin_run(
@@ -329,6 +406,125 @@ def check_phase_bump(
             member=process.node_id, round=round_number, phase=from_phase,
         ))
     process._sanitize_phase_clock = to_phase
+
+
+# -- adversarial admission screening (the detection oracle) --------------
+def _claimed_members(process, key) -> frozenset[int] | None:
+    """The member set a contribution keyed ``key`` may legitimately cover.
+
+    Phase-1 contributions (and baseline vote reports) are keyed by the
+    *owning member id*; subtree aggregates are keyed by a
+    :class:`~repro.core.gridbox.SubtreeId` and may cover exactly that
+    subtree's members (a longer-than-``digits`` prefix is a pseudo member
+    key — the leader-election baseline's per-node children).  ``None``
+    when the key carries no coverage claim this process can check.
+    """
+    if isinstance(key, int):
+        return frozenset((key,))
+    if isinstance(key, SubtreeId):
+        assignment = getattr(process, "assignment", None)
+        if assignment is None:
+            return None
+        if key.prefix_length > assignment.hierarchy.digits:
+            return frozenset((key.prefix_value,))
+        return frozenset(assignment.members_in_subtree(key))
+    return None
+
+
+def _screen_violation(
+    process, member: int, round_number: int, phase: int, key,
+    state: AggregateState,
+) -> SanitizerError | None:
+    """The violation an arriving contribution commits, or None if clean."""
+    function: AggregateFunction = process.function
+    if _GROUND_TRUTH is not None:
+        votes, __ = _GROUND_TRUTH
+        universe = votes
+    else:
+        votes = None
+        universe = getattr(
+            getattr(process, "assignment", None), "member_ids", None
+        )
+    if universe is not None:
+        foreign = [m for m in sorted(state.members) if m not in universe]
+        if foreign:
+            return ForgedContribution(SanitizerViolation(
+                kind="foreign-member",
+                detail=(
+                    f"{function.name}: arriving contribution covers ids "
+                    f"{foreign[:5]} that are not members of this run — "
+                    f"Sybil or fabricated votes"
+                ),
+                member=member, round=round_number, phase=phase,
+            ))
+    claimed = _claimed_members(process, key)
+    if claimed is not None and not state.members <= claimed:
+        extras = sorted(state.members - claimed)
+        return DoubleCountViolation(SanitizerViolation(
+            kind="double-count",
+            detail=(
+                f"{function.name}: contribution keyed {key!r} covers "
+                f"members {extras[:5]} outside that key's legitimate set "
+                f"— admitting it would count their votes under two keys"
+            ),
+            member=member, round=round_number, phase=phase,
+        ))
+    counted = _count_channel(function, state)
+    if counted is not None and counted != state.covers():
+        return ForgedContribution(SanitizerViolation(
+            kind="count-channel",
+            detail=(
+                f"{function.name}: arriving payload counts {counted} "
+                f"vote(s) but its membership mask covers "
+                f"{state.covers()} — forged or corrupted in flight"
+            ),
+            member=member, round=round_number, phase=phase,
+        ))
+    if votes is not None:
+        expected = _expected_mass(function, state.members, votes)
+        if expected is not None and _mass_mismatch(expected, state.payload):
+            return ForgedContribution(SanitizerViolation(
+                kind="mass-conservation",
+                detail=(
+                    f"{function.name}: arriving payload {state.payload!r} "
+                    f"!= ground-truth recomputation {expected!r} over its "
+                    f"{state.covers()} covered vote(s) — tampered in "
+                    f"flight"
+                ),
+                member=member, round=round_number, phase=phase,
+            ))
+    return None
+
+
+def _screen_contribution(
+    process, round_number: int, phase: int, key, state: AggregateState
+) -> bool:
+    """Admission screen (bound as :data:`SCREEN`): False = quarantine.
+
+    Records every violation as an attributed detection and scores the
+    registered adversary's ground truth: planted states are marked
+    *reached* when they arrive here and *detected* when caught; a
+    detection on a state the adversary never planted counts as a false
+    positive.  The contribution is quarantined (dropped before merge),
+    so adversarial campaigns measure detection instead of crashing on
+    the first forged merge.
+    """
+    planner = _ADVERSARY
+    planted = planner.planted_mode(state) if planner is not None else None
+    if planted is not None:
+        planner.note_reached(state)
+    violation = _screen_violation(
+        process, process.node_id, round_number, phase, key, state
+    )
+    if violation is None:
+        return True
+    _DETECTIONS.append(violation)
+    if planner is not None:
+        if planted is not None:
+            planner.note_detected(state)
+        else:
+            planner.note_false_positive()
+    return False
 
 
 if os.environ.get("REPRO_SANITIZE", "").strip().lower() in (

@@ -225,6 +225,27 @@ class ArraySteppedEngine(SimulationEngine):
                  np.array(rows, dtype=np.int64), table)
             )
 
+    def _drain_injected(self) -> None:
+        """Queue injected messages as head-of-round delivery chunks.
+
+        The object engine enqueues injections before the round's genuine
+        sends; mirroring that here means prepend-by-construction — the
+        drain runs before ``stepper.step`` appends genuine chunks for the
+        same delivery round, so injected chunks sit first in the list and
+        are absorbed first.  Each injection becomes a singleton chunk (its
+        payload table is just ``[payload]`` indexed by pseudo-row 0).
+        """
+        for delivery_round, message in self.network.take_injected():
+            if delivery_round <= self.round:
+                raise ValueError(
+                    f"injected delivery round {delivery_round} is not in "
+                    f"the future (current round {self.round})"
+                )
+            self._pending.setdefault(delivery_round, []).append(
+                (np.array([message.dest], dtype=np.int64),
+                 np.array([0], dtype=np.int64), [message.payload])
+            )
+
     def _deliver_due(self) -> None:
         chunks = self._pending.pop(self.round, None)
         if chunks:
@@ -260,7 +281,7 @@ class ArraySteppedEngine(SimulationEngine):
                         payloads_by_row[r]
                         for r in src_list[start:bounds[i + 1]]
                     ]
-                    if procs[row].absorb_payloads(payloads):
+                    if procs[row].absorb_payloads(payloads, self.round):
                         changed.append(row)
         # Stray scalar sends (Context.send outside the block path) live
         # on the base heap; drain it too.  No-op when empty.

@@ -288,6 +288,23 @@ class SimulationEngine:
         receiver.on_message(self._ctx, message)
         self._ctx.current = None
 
+    def _drain_injected(self) -> None:
+        """Queue messages a fault injector placed on the wire.
+
+        Runs right after the round bus (where chaos controllers craft
+        their injections), so a message injected for ``round + 1`` is
+        enqueued *before* this round's protocol step submits genuine
+        traffic — injected messages deliver at the head of their round,
+        in both engines.
+        """
+        for delivery_round, message in self.network.take_injected():
+            if delivery_round <= self.round:
+                raise ValueError(
+                    f"injected delivery round {delivery_round} is not in "
+                    f"the future (current round {self.round})"
+                )
+            self._enqueue(delivery_round, message)
+
     def _deliver_due(self) -> None:
         current = self.round
         # Re-read self._fifo each step: a send from inside on_message may
@@ -409,6 +426,7 @@ class SimulationEngine:
             self._apply_failures()
             self._deliver_due()
             self.round_bus.emit(self.round)
+            self._drain_injected()
             self._step_processes()
             if self.metrics is not None:
                 self.metrics.snapshot(self)

@@ -69,6 +69,8 @@ class NetworkStats:
     rejected_bandwidth: int = 0
     bytes_sent: int = 0
     dropped_cross_partition: int = 0
+    dropped_cross_region: int = 0
+    injected: int = 0
     per_sender_sent: Counter = field(default_factory=Counter)
 
     @property
@@ -111,9 +113,36 @@ class Network:
         self._loss_draws: Any = None
         self._loss_next = 0
         self._latency_stream: Any = None
+        # Out-of-band messages placed on the wire by a fault injector
+        # (the chaos adversary), pending pickup by the engine.
+        self._injected: list[tuple[int, Message]] = []
 
     #: Messages per pre-drawn block of loss uniforms.
     LOSS_BLOCK = 512
+
+    # -- fault-injection hook -------------------------------------------
+    def inject(self, delivery_round: int, message: Message) -> None:
+        """Place an out-of-band message on the wire (fault injection).
+
+        Injected messages bypass loss, latency, and bandwidth planning —
+        they model an adversary (or a buggy lower layer) writing straight
+        onto the medium, not a member spending its send budget.  They are
+        counted in ``stats.injected``, never in ``sent``, so protocol
+        message-overhead measurements stay unpolluted.  The engine drains
+        them each round via :meth:`take_injected` and delivers them at
+        ``delivery_round`` ahead of that round's genuine traffic — the
+        same relative order on both the object and array engines.
+        """
+        self.stats.injected += 1
+        self._injected.append((delivery_round, message))
+
+    def take_injected(self) -> list[tuple[int, Message]]:
+        """Drain pending injected messages (engine interface)."""
+        if not self._injected:
+            return []
+        drained = self._injected
+        self._injected = []
+        return drained
 
     # -- model hooks ----------------------------------------------------
     def loss_probability(self, message: Message) -> float:

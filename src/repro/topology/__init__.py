@@ -3,6 +3,7 @@
 from repro.topology.adhoc import AdHocNetwork
 from repro.topology.field import Hotspot, ScalarField, SensorField
 from repro.topology.internet import DomainNetwork, InternetGroup
+from repro.topology.regions import RegionMap
 
 __all__ = [
     "AdHocNetwork",
@@ -11,4 +12,5 @@ __all__ = [
     "SensorField",
     "DomainNetwork",
     "InternetGroup",
+    "RegionMap",
 ]

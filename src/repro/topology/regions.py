@@ -1,0 +1,87 @@
+"""WAN region assignment layered on the grid-box address scheme.
+
+The Grid Box Hierarchy is a *logical* address space; a geo-distributed
+deployment maps it onto physical regions (data centres, WAN sites).  The
+natural placement is by address prefix: contiguous ranges of grid boxes
+share high-order base-K digits, so a contiguous range of boxes is a
+union of whole subtrees — exactly the property a region-aware deployment
+wants, because a region then contains complete phase-``i`` subtrees and
+intra-subtree gossip stays intra-region until the top phases.
+
+:class:`RegionMap` implements that placement: the occupied grid boxes
+(in address order, as ``box_groups`` hands them to the chaos compiler)
+are split into ``num_regions`` contiguous, near-equal runs, and every
+member inherits its box's region.  ``RegionPartition`` chaos events use
+the map to decide which messages cross a WAN boundary (and which cross
+into an isolated region) without consulting anything but member ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["RegionMap"]
+
+
+class RegionMap:
+    """Members partitioned into contiguous-prefix WAN regions.
+
+    ``box_groups`` is the member-by-grid-box partition in box-address
+    order (the same structure rack-correlated chaos events use); box
+    ``i`` of ``B`` occupied boxes lands in region
+    ``i * num_regions // B``, giving contiguous runs whose sizes differ
+    by at most one box — whole subtrees per region wherever the
+    hierarchy allows it.
+    """
+
+    def __init__(
+        self, box_groups: Sequence[Sequence[int]], num_regions: int
+    ):
+        if num_regions < 2:
+            raise ValueError(
+                f"num_regions must be >= 2, got {num_regions}"
+            )
+        groups = [tuple(group) for group in box_groups]
+        if len(groups) < num_regions:
+            raise ValueError(
+                f"cannot split {len(groups)} occupied grid box(es) into "
+                f"{num_regions} regions"
+            )
+        self.num_regions = num_regions
+        self.num_boxes = len(groups)
+        self._region_of_member: dict[int, int] = {}
+        counts = [0] * num_regions
+        for index, group in enumerate(groups):
+            region = index * num_regions // len(groups)
+            counts[region] += len(group)
+            for member in group:
+                self._region_of_member[member] = region
+        #: Members per region, in region order.
+        self.region_sizes: tuple[int, ...] = tuple(counts)
+
+    @property
+    def region_of_member(self) -> dict[int, int]:
+        """Member id -> region index, for bulk consumers (chaos compiler)."""
+        return self._region_of_member
+
+    def region_of(self, member: int) -> int:
+        """The region of ``member`` (KeyError for unknown ids)."""
+        return self._region_of_member[member]
+
+    def members_of(self, region: int) -> tuple[int, ...]:
+        """All member ids placed in ``region``, in ascending id order."""
+        if not 0 <= region < self.num_regions:
+            raise ValueError(
+                f"region {region} out of range [0, {self.num_regions})"
+            )
+        return tuple(sorted(
+            member
+            for member, where in self._region_of_member.items()
+            if where == region
+        ))
+
+    def __repr__(self) -> str:
+        return (
+            f"RegionMap(regions={self.num_regions}, "
+            f"boxes={self.num_boxes}, sizes={self.region_sizes})"
+        )
