@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke figures examples clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,10 +11,15 @@ test:
 lint:             ## determinism/invariant lint (REP rules) + mypy when installed
 	PYTHONPATH=src python -m repro lint src/
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/sim src/repro/core src/repro/chaos; \
+		mypy src/repro/sim src/repro/core src/repro/chaos \
+			src/repro/obs src/repro/baselines src/repro/topology \
+			src/repro/experiments; \
 	else \
 		echo "mypy not installed locally; skipping type check (CI runs it)"; \
 	fi
+
+lint-changed:     ## incremental lint: only files touched since HEAD
+	PYTHONPATH=src python -m repro lint --changed HEAD src/
 
 bench:            ## wall-clock perf harness -> BENCH_core.json
 	PYTHONPATH=src python benchmarks/perf/run_bench.py
@@ -57,12 +62,8 @@ trace-smoke:      ## run one traced aggregation, validate the JSONL, check layer
 	PYTHONPATH=src python -m repro trace --n 64 --ucastl 0.4 --seed 1 \
 		--out /tmp/repro-trace-smoke.jsonl --explain 0
 	PYTHONPATH=src python -m repro trace --validate /tmp/repro-trace-smoke.jsonl
-	@if grep -rnE "(^|[^A-Za-z_.])(from[[:space:]]+repro\.obs|import[[:space:]]+repro\.obs)" src/repro/sim src/repro/core src/repro/chaos; then \
-		echo "ERROR: repro.obs imported from sim/core/chaos (obs must stay a pure consumer)"; \
-		exit 1; \
-	else \
-		echo "obs layering ok: sim/core/chaos never import repro.obs"; \
-	fi
+	PYTHONPATH=src python -m repro lint --select REP007 src/
+	@echo "layering ok: REP007 found no forbidden cross-unit imports"
 
 figures:          ## quick CLI pass over the analytic figures
 	python -m repro fig4

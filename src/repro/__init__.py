@@ -21,37 +21,53 @@ Quickstart::
 
 See ``examples/`` for realistic scenarios and ``benchmarks/`` for the
 per-figure reproduction harness.
+
+The re-exports below resolve lazily (PEP 562): importing :mod:`repro`
+costs a few milliseconds, and numpy/scipy only load when a name that
+needs them is first touched.  Stdlib-only subsystems — ``repro.lint``
+in particular, whose warm-cache runs are dominated by interpreter
+startup — depend on the root import staying this cheap.
 """
 
-from repro.core import (
-    AggregateFunction,
-    AggregateState,
-    AverageAggregate,
-    CountAggregate,
-    DoubleCountError,
-    FairHash,
-    GossipParams,
-    GridAssignment,
-    GridBoxHierarchy,
-    HierarchicalGossipProcess,
-    MaxAggregate,
-    MinAggregate,
-    StaticHash,
-    SumAggregate,
-    TopologicalHash,
-    build_hierarchical_gossip_group,
-    get_aggregate,
-    measure_completeness,
-)
-from repro.experiments import (
-    PAPER_DEFAULTS,
-    RunConfig,
-    RunResult,
-    run_once,
-    with_params,
-)
-from repro.mib import MibProcess, build_mib_group
-from repro.monitoring import EpochResult, MonitoringSession, Trigger
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.experiments import RunResult
+
+#: Lazy re-export table: public name -> providing module.
+_EXPORTS = {
+    "AggregateFunction": "repro.core",
+    "AggregateState": "repro.core",
+    "AverageAggregate": "repro.core",
+    "CountAggregate": "repro.core",
+    "DoubleCountError": "repro.core",
+    "FairHash": "repro.core",
+    "GossipParams": "repro.core",
+    "GridAssignment": "repro.core",
+    "GridBoxHierarchy": "repro.core",
+    "HierarchicalGossipProcess": "repro.core",
+    "MaxAggregate": "repro.core",
+    "MinAggregate": "repro.core",
+    "StaticHash": "repro.core",
+    "SumAggregate": "repro.core",
+    "TopologicalHash": "repro.core",
+    "build_hierarchical_gossip_group": "repro.core",
+    "get_aggregate": "repro.core",
+    "measure_completeness": "repro.core",
+    "PAPER_DEFAULTS": "repro.experiments",
+    "RunConfig": "repro.experiments",
+    "RunResult": "repro.experiments",
+    "run_once": "repro.experiments",
+    "with_params": "repro.experiments",
+    "MibProcess": "repro.mib",
+    "build_mib_group": "repro.mib",
+    "EpochResult": "repro.monitoring",
+    "MonitoringSession": "repro.monitoring",
+    "Trigger": "repro.monitoring",
+}
 
 __version__ = "1.0.0"
 
@@ -89,6 +105,29 @@ __all__ = [
 ]
 
 
+def __getattr__(name: str) -> object:
+    target = _EXPORTS.get(name)
+    if target is not None:
+        value = getattr(importlib.import_module(target), name)
+    else:
+        # ``import repro; repro.core.X`` worked when the root imported
+        # every subsystem eagerly; keep submodule access working.
+        try:
+            value = importlib.import_module(f"repro.{name}")
+        except ModuleNotFoundError as error:
+            if error.name != f"repro.{name}":
+                raise
+            raise AttributeError(
+                f"module 'repro' has no attribute {name!r}"
+            ) from None
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))
+
+
 def aggregate_once(
     votes: dict[int, float],
     aggregate: str = "average",
@@ -107,7 +146,16 @@ def aggregate_once(
     message counts, true value, estimate error).  Member ids may be
     arbitrary integers; completeness is relative to ``len(votes)``.
     """
+    from repro.core import (
+        FairHash,
+        GossipParams,
+        GridAssignment,
+        GridBoxHierarchy,
+        build_hierarchical_gossip_group,
+        get_aggregate,
+    )
     from repro.core.protocol import measure_completeness as _measure
+    from repro.experiments import with_params
     from repro.experiments.runner import RunResult as _RunResult
     from repro.sim.engine import SimulationEngine
     from repro.sim.failures import CrashWithoutRecovery, NoFailures

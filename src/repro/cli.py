@@ -13,11 +13,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.params import with_params
-from repro.experiments.runner import run_once
-
 __all__ = ["main"]
+
+#: Subcommand names for the figure registry, pinned statically so that
+#: building the parser never imports the numpy/scipy-backed figure
+#: implementations (keeps stdlib-only verbs like ``lint`` fast).  A CLI
+#: test asserts this stays equal to ``tuple(ALL_FIGURES)``.
+FIGURE_IDS = (
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "baselines", "complexity", "approx-n", "start-spread",
+    "partial-views",
+)
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -64,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list reproducible figures")
 
-    for figure_id in ALL_FIGURES:
+    for figure_id in FIGURE_IDS:
         figure_parser = sub.add_parser(
             figure_id, help=f"reproduce {figure_id}"
         )
@@ -202,12 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="run the determinism/invariant static-analysis rules",
         description=(
-            "Repo-specific AST lint (REP001-REP006): raw RNG outside "
-            "RngRegistry, wall-clock calls in sim packages, unordered "
-            "set iteration, truthiness-vs-is-None on containers, "
-            "mutable shared state, and float sort keys without a "
-            "stable tie-break.  Exit 0 = clean, 1 = violations, "
-            "2 = usage error.  See docs/STATIC_ANALYSIS.md."
+            "Repo-specific static analysis.  Per-file AST rules "
+            "(REP001-REP006): raw RNG outside RngRegistry, wall-clock "
+            "calls in sim packages, unordered set iteration, "
+            "truthiness-vs-is-None on containers, mutable shared "
+            "state, and float sort keys without a stable tie-break.  "
+            "Whole-program rules over the import/call graph "
+            "(REP007-REP009 plus interprocedural REP002): layering "
+            "violations, branch-dependent shared-stream draws on the "
+            "engine paths, and object/array engine observability "
+            "parity.  Exit 0 = clean, 1 = violations, 2 = usage "
+            "error.  See docs/STATIC_ANALYSIS.md."
         ),
     )
     from repro.lint.cli import add_lint_arguments
@@ -231,6 +242,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_figure(figure_id: str, args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ALL_FIGURES
+
     figure_fn = ALL_FIGURES[figure_id]
     kwargs = {}
     if args.runs is not None:
@@ -254,6 +267,8 @@ def _run_figure(figure_id: str, args: argparse.Namespace) -> int:
 
 def _config_from_args(args: argparse.Namespace):
     """Build the :class:`RunConfig` shared by ``run`` and ``trace``."""
+    from repro.experiments.params import with_params
+
     return with_params(
         n=args.n,
         k=args.k,
@@ -275,6 +290,8 @@ def _config_from_args(args: argparse.Namespace):
 
 
 def _run_single(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_once
+
     config = _config_from_args(args)
     result = run_once(config)
     print(f"protocol            : {config.protocol}")
@@ -435,15 +452,18 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(build_parser().parse_args(argv))
     finally:
-        # Reap the invocation's shared worker pools (no-op when the
-        # command never fanned out).
-        from repro.experiments.parallel import close_shared_runners
-
-        close_shared_runners()
+        # Reap the invocation's shared worker pools.  Pools can only
+        # exist if the parallel module was imported, so going through
+        # sys.modules keeps stdlib-only verbs from paying the import.
+        parallel = sys.modules.get("repro.experiments.parallel")
+        if parallel is not None:
+            parallel.close_shared_runners()
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
+        from repro.experiments.figures import ALL_FIGURES
+
         for figure_id, figure_fn in ALL_FIGURES.items():
             doc = (figure_fn.__doc__ or "").strip().splitlines()[0]
             print(f"{figure_id:<14} {doc}")
@@ -451,9 +471,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _run_single(args)
     if args.command == "trace":
+        from repro.experiments.runner import run_once
         from repro.obs.cli import run_trace
 
-        return run_trace(args, _config_from_args)
+        return run_trace(args, _config_from_args, run_once)
     if args.command == "show-hierarchy":
         return _show_hierarchy(args)
     if args.command == "chaos":

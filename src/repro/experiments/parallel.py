@@ -47,7 +47,10 @@ import atexit
 import os
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, replace
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -127,12 +130,12 @@ class ParallelRunner:
     """
 
     def __init__(self, jobs: int | str | None = None,
-                 chunk_size: int | None = None):
+                 chunk_size: int | None = None) -> None:
         self.jobs = resolve_jobs(jobs)
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
         self._pool_unavailable = False
 
     def _chunk_size_for(self, items: int, workers: int) -> int:
@@ -142,7 +145,7 @@ class ParallelRunner:
         # keeping per-chunk IPC overhead amortized over several runs.
         return max(1, items // (workers * 4))
 
-    def _acquire_pool(self):
+    def _acquire_pool(self) -> ProcessPoolExecutor | None:
         """The persistent pool, created on first use (None = no pool)."""
         if self._pool is None and not self._pool_unavailable:
             from concurrent.futures import ProcessPoolExecutor

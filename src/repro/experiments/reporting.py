@@ -101,7 +101,7 @@ class TableResult:
             if cells else len(self.headers[col])
             for col in range(len(self.headers))
         ]
-        def fmt(row):
+        def fmt(row: list[str]) -> str:
             return "  ".join(c.rjust(w) for c, w in zip(row, widths))
         lines = [f"== {self.title} ==", fmt(self.headers),
                  fmt(["-" * w for w in widths])]
@@ -144,7 +144,7 @@ def render_table(figure: FigureResult) -> str:
         max(len(headers[col]), *(len(row[col]) for row in rows))
         for col in range(len(headers))
     ]
-    def fmt_row(cells):
+    def fmt_row(cells: list[str]) -> str:
         return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
     lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
     lines.extend(fmt_row(row) for row in rows)

@@ -119,7 +119,7 @@ def _make_votes(config: RunConfig, rngs: RngRegistry) -> dict[int, float]:
     return dict(enumerate(votes))
 
 
-def _make_network(config: RunConfig):
+def _make_network(config: RunConfig) -> LossyNetwork | PartitionedNetwork:
     common = dict(
         max_message_size=config.max_message_size,
         max_sends_per_round=config.max_sends_per_round,
@@ -136,7 +136,7 @@ def _make_network(config: RunConfig):
     return LossyNetwork(ucastl=config.ucastl, **common)
 
 
-def _make_failures(config: RunConfig):
+def _make_failures(config: RunConfig) -> NoFailures | CrashWithoutRecovery:
     if config.pf <= 0.0:
         return NoFailures()
     return CrashWithoutRecovery(pf=config.pf)

@@ -40,7 +40,7 @@ class Sweep:
     """Run a cartesian grid of config variations and tabulate results."""
 
     def __init__(self, base: RunConfig, runs: int = 10,
-                 jobs: int | str | None = None):
+                 jobs: int | str | None = None) -> None:
         if runs < 1:
             raise ValueError("runs must be >= 1")
         self.base = base

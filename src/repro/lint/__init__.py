@@ -1,14 +1,24 @@
 """Custom determinism/invariant static analysis for the reproduction.
 
-``repro lint`` (also ``make lint``) runs repo-specific AST rules that
+``repro lint`` (also ``make lint``) runs repo-specific rules that
 guard the codebase's two load-bearing properties — byte-determinism
 across ``--jobs`` counts and the paper's no-double-counting constraint —
-at commit time instead of leaving them to end-to-end golden tests.  See
-``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale, and
-:mod:`repro.sanitize` for the matching runtime checks.
+at commit time instead of leaving them to end-to-end golden tests.
+The per-file AST rules (REP001-REP006, :mod:`repro.lint.rules`) are
+joined by whole-program graph rules (REP007-REP009 and interprocedural
+REP002, :mod:`repro.lint.graph_rules`) built on a cached module index
+(:mod:`repro.lint.project`).  See ``docs/STATIC_ANALYSIS.md`` for the
+rule catalogue and rationale, and :mod:`repro.sanitize` for the
+matching runtime checks.
 """
 
 from repro.lint.engine import LintEngine, LintResult, Suppressions
+from repro.lint.graph_rules import (
+    ALL_PROJECT_RULES,
+    ProjectRule,
+    project_rules_by_code,
+)
+from repro.lint.project import LintCache, ProjectIndex, summarize_module
 from repro.lint.rules import ALL_RULES, Rule, rules_by_code
 from repro.lint.violations import (
     JSON_SCHEMA_VERSION,
@@ -18,14 +28,20 @@ from repro.lint.violations import (
 )
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
     "JSON_SCHEMA_VERSION",
+    "LintCache",
     "LintEngine",
     "LintResult",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "Suppressions",
     "Violation",
+    "project_rules_by_code",
     "render_json",
     "render_text",
     "rules_by_code",
+    "summarize_module",
 ]

@@ -1,5 +1,20 @@
 """The ``repro lint`` engine: walk files, run rules, apply suppressions.
 
+Since the whole-program pass (:mod:`repro.lint.project`) the engine
+runs in two layers:
+
+* **Per-file** — parse each module once, run the AST rules
+  (REP001-REP006) and build the module's whole-program summary.  All
+  of this is pure in the file's content, so it is cached on disk keyed
+  by content hash (:class:`repro.lint.project.LintCache`): a warm run
+  re-parses nothing.  Raw (pre-suppression) violations are what gets
+  cached, so pragma/suppression changes never invalidate entries.
+* **Project** — link the summaries into a
+  :class:`~repro.lint.project.ProjectIndex` and run the graph rules
+  (REP007-REP009, interprocedural REP002).  These depend on every
+  file, so their violations are recomputed each run (from cached
+  summaries — still cheap) and never cached.
+
 Two suppression mechanisms, both scoped as narrowly as possible:
 
 * **Inline pragma** — ``# repro-lint: ok`` on the offending line silences
@@ -11,6 +26,10 @@ Two suppression mechanisms, both scoped as narrowly as possible:
   every rule.  Globs are matched with :mod:`fnmatch` against the
   posix-style path the report prints.  Use for known, baselined
   exceptions that are too broad for inline pragmas.
+
+``--changed`` mode restricts *reporting* to a set of files while still
+analyzing the whole tree (project rules need the full graph); the
+dropped violations are out of scope, not suppressed.
 
 Exit-code contract (see :func:`repro.lint.cli.main`): 0 = clean,
 1 = violations (including files that fail to parse, reported as
@@ -25,6 +44,15 @@ from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
 
+from repro.lint.graph_rules import ALL_PROJECT_RULES, ProjectRule
+from repro.lint.project import (
+    LintCache,
+    ProjectIndex,
+    Stopwatch,
+    module_name_for,
+    source_hash,
+    summarize_module,
+)
 from repro.lint.rules import ALL_RULES, Rule
 from repro.lint.violations import Violation
 
@@ -51,6 +79,24 @@ def parse_pragmas(source: str) -> dict[int, frozenset[str] | None]:
                 code.strip() for code in codes.split(",") if code.strip()
             )
     return pragmas
+
+
+def _pragmas_to_json(
+    pragmas: dict[int, frozenset[str] | None]
+) -> dict[str, list[str] | None]:
+    return {
+        str(line): (sorted(codes) if codes is not None else None)
+        for line, codes in pragmas.items()
+    }
+
+
+def _pragmas_from_json(
+    raw: dict[str, list[str] | None]
+) -> dict[int, frozenset[str] | None]:
+    return {
+        int(line): (frozenset(codes) if codes is not None else None)
+        for line, codes in raw.items()
+    }
 
 
 class Suppressions:
@@ -97,6 +143,16 @@ class LintResult:
     violations: list[Violation] = field(default_factory=list)
     checked_files: int = 0
     suppressed: int = 0
+    #: Violations filtered by an explicit ``--baseline`` snapshot.
+    baselined: int = 0
+    #: ``ProjectIndex.stats()`` when the project pass ran.
+    graph_stats: dict | None = None
+    #: Phase / per-project-rule wall times, seconds.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: ``{"enabled": bool, "hits": int, "misses": int}`` when caching.
+    cache_info: dict | None = None
+    #: In ``--changed`` mode: how many files the report covers.
+    changed_files: int | None = None
 
     @property
     def clean(self) -> bool:
@@ -104,14 +160,20 @@ class LintResult:
 
 
 class LintEngine:
-    """Run a rule set over files and directories."""
+    """Run the per-file and project rule sets over files/directories."""
 
     def __init__(
         self,
         rules: tuple[Rule, ...] = ALL_RULES,
         suppressions: Suppressions | None = None,
+        project_rules: tuple[ProjectRule, ...] = ALL_PROJECT_RULES,
+        cache: LintCache | None = None,
+        select: frozenset[str] | None = None,
     ):
         self.rules = tuple(rules)
+        self.project_rules = tuple(project_rules)
+        self.cache = cache
+        self.select = select
         self.suppressions = suppressions if suppressions is not None else (
             Suppressions()
         )
@@ -125,12 +187,31 @@ class LintEngine:
         :class:`FileNotFoundError` for a path that does not exist — a
         mistyped path silently linting nothing would defeat the gate.
         """
-        files: list[Path] = []
+        return [
+            file_path
+            for file_path, _ in LintEngine._discover_with_bases(paths)
+        ]
+
+    @staticmethod
+    def _discover_with_bases(
+        paths: list[Path],
+    ) -> list[tuple[Path, Path]]:
+        """(file, invocation base) pairs — the base anchors corpus-style
+        module naming (:func:`repro.lint.project.module_name_for`)."""
+        files: list[tuple[Path, Path]] = []
+        seen: set[Path] = set()
+
+        def add(file_path: Path, base: Path) -> None:
+            key = file_path.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append((file_path, base))
+
         for path in paths:
             if not path.exists():
                 raise FileNotFoundError(f"no such file or directory: {path}")
             if path.is_file():
-                files.append(path)
+                add(path, path)
                 continue
             for candidate in sorted(path.rglob("*.py")):
                 if any(
@@ -138,49 +219,159 @@ class LintEngine:
                     for part in candidate.parts
                 ):
                     continue
-                files.append(candidate)
+                add(candidate, path)
         return files
 
     # -- checking -------------------------------------------------------
     def check_source(self, source: str, path: str) -> LintResult:
-        """Lint one in-memory module (the unit the tests drive)."""
+        """Lint one in-memory module with the per-file rules only (the
+        unit the rule tests drive; no cache, no project pass)."""
         result = LintResult(checked_files=1)
+        raw, pragmas, _ = self._analyze(source, path, module="__lint__")
+        for violation in raw:
+            self._file_violation(result, violation, pragmas)
+        result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return result
+
+    def check_paths(
+        self,
+        paths: list[Path],
+        changed: set[Path] | None = None,
+    ) -> LintResult:
+        """Lint every python file under ``paths``.
+
+        ``changed`` (resolved paths) restricts which files' violations
+        are *reported*; the whole tree is still analyzed so the project
+        rules see the full graph.
+        """
+        watch = Stopwatch()
+        result = LintResult()
+        summaries: list[dict] = []
+        pragmas_by_path: dict[str, dict] = {}
+        changed_paths: set[str] = set()
+        with watch.measure("analyze"):
+            for file_path, base in self._discover_with_bases(paths):
+                source = file_path.read_text(encoding="utf-8")
+                path_str = file_path.as_posix()
+                entry = self._entry_for(file_path, base, source, path_str)
+                result.checked_files += 1
+                pragmas = _pragmas_from_json(entry["pragmas"])
+                pragmas_by_path[path_str] = pragmas
+                if entry["summary"] is not None:
+                    summaries.append(entry["summary"])
+                if changed is None or file_path.resolve() in changed:
+                    changed_paths.add(path_str)
+                for raw in entry["violations"]:
+                    violation = Violation(**raw)
+                    if self.select and violation.code not in self.select:
+                        continue
+                    if violation.path not in changed_paths:
+                        continue
+                    self._file_violation(result, violation, pragmas)
+        self._project_pass(
+            result, summaries, pragmas_by_path, changed_paths, watch
+        )
+        if self.cache is not None:
+            self.cache.save()
+            result.cache_info = {
+                "enabled": True,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        if changed is not None:
+            result.changed_files = len(changed_paths)
+        result.timings = dict(watch.timings)
+        result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+        return result
+
+    # -- internals ------------------------------------------------------
+    def _analyze(
+        self, source: str, path: str, module: str
+    ) -> tuple[list[Violation], dict, dict | None]:
+        """(raw violations, pragmas, module summary) for one file."""
+        pragmas = parse_pragmas(source)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as error:
-            result.violations.append(Violation(
+            return [Violation(
                 code="REP000",
                 path=path,
                 line=error.lineno or 1,
                 col=(error.offset or 1) - 1,
                 message=f"file does not parse: {error.msg}",
-            ))
-            return result
-        pragmas = parse_pragmas(source)
+            )], pragmas, None
+        raw: list[Violation] = []
         for rule in self.rules:
             if not rule.applies_to(path):
                 continue
-            for violation in rule.check(tree, path):
-                suppressed_codes = pragmas.get(violation.line, frozenset())
-                if suppressed_codes is None or (
-                    violation.code in suppressed_codes
-                ):
-                    result.suppressed += 1
-                elif self.suppressions.matches(violation):
-                    result.suppressed += 1
-                else:
-                    result.violations.append(violation)
-        result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-        return result
+            raw.extend(rule.check(tree, path))
+        summary = summarize_module(source, path, module, tree=tree)
+        return raw, pragmas, summary
 
-    def check_paths(self, paths: list[Path]) -> LintResult:
-        """Lint every python file under ``paths``."""
-        total = LintResult()
-        for file_path in self.discover(paths):
-            source = file_path.read_text(encoding="utf-8")
-            partial = self.check_source(source, file_path.as_posix())
-            total.violations.extend(partial.violations)
-            total.checked_files += partial.checked_files
-            total.suppressed += partial.suppressed
-        total.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-        return total
+    def _entry_for(
+        self, file_path: Path, base: Path, source: str, path_str: str
+    ) -> dict:
+        """The (possibly cached) per-file analysis entry."""
+        content_hash = source_hash(source)
+        if self.cache is not None:
+            cached = self.cache.get(path_str, content_hash)
+            if cached is not None:
+                return cached
+        module = module_name_for(file_path, base)
+        raw, pragmas, summary = self._analyze(source, path_str, module)
+        entry = {
+            "hash": content_hash,
+            "violations": [
+                {
+                    "code": v.code, "path": v.path, "line": v.line,
+                    "col": v.col, "message": v.message,
+                }
+                for v in raw
+            ],
+            "pragmas": _pragmas_to_json(pragmas),
+            "summary": summary,
+        }
+        if self.cache is not None:
+            self.cache.put(path_str, entry)
+        return entry
+
+    def _file_violation(
+        self,
+        result: LintResult,
+        violation: Violation,
+        pragmas: dict[int, frozenset[str] | None],
+    ) -> None:
+        suppressed_codes = pragmas.get(violation.line, frozenset())
+        if suppressed_codes is None or (
+            violation.code in suppressed_codes
+        ):
+            result.suppressed += 1
+        elif self.suppressions.matches(violation):
+            result.suppressed += 1
+        else:
+            result.violations.append(violation)
+
+    def _project_pass(
+        self,
+        result: LintResult,
+        summaries: list[dict],
+        pragmas_by_path: dict[str, dict],
+        changed_paths: set[str],
+        watch: Stopwatch,
+    ) -> None:
+        rules = [
+            rule for rule in self.project_rules
+            if self.select is None or rule.code in self.select
+        ]
+        if not rules or not summaries:
+            return
+        with watch.measure("index"):
+            index = ProjectIndex(summaries)
+        result.graph_stats = index.stats()
+        for rule in rules:
+            with watch.measure(f"rule:{rule.code}"):
+                for violation in rule.check(index):
+                    if violation.path not in changed_paths:
+                        continue
+                    pragmas = pragmas_by_path.get(violation.path, {})
+                    self._file_violation(result, violation, pragmas)

@@ -4,7 +4,15 @@ A violation is one rule firing at one source location.  The engine
 collects them across files and renders either a human-readable text
 report (one ``path:line:col: CODE message`` line each, grep- and
 editor-friendly) or a machine-readable JSON document with a stable
-schema (``repro-lint/1``) for CI tooling.
+schema (``repro-lint/2``) for CI tooling.
+
+``repro-lint/2`` extends the original document with the whole-program
+analyzer's bookkeeping: ``graph`` (module/class/function/edge counts
+from the project index), ``timings`` (per-phase and per-project-rule
+wall time), ``cache`` (content-hash cache hits/misses) and
+``baselined`` (violations filtered by a ``--baseline`` snapshot).
+The original keys are unchanged, so a ``repro-lint/1`` consumer that
+ignores unknown keys keeps working.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from dataclasses import dataclass
 __all__ = ["Violation", "render_text", "render_json", "JSON_SCHEMA_VERSION"]
 
 #: Bumped whenever the JSON document shape changes incompatibly.
-JSON_SCHEMA_VERSION = "repro-lint/1"
+JSON_SCHEMA_VERSION = "repro-lint/2"
 
 
 @dataclass(frozen=True)
@@ -32,11 +40,45 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
+def _stat_lines(stats: dict | None) -> list[str]:
+    """Human-readable analyzer bookkeeping for the text report."""
+    if not stats:
+        return []
+    lines: list[str] = []
+    cache = stats.get("cache")
+    if cache and cache.get("enabled"):
+        lines.append(
+            f"cache: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es)"
+        )
+    graph = stats.get("graph")
+    if graph:
+        lines.append(
+            f"graph: {graph.get('modules', 0)} modules, "
+            f"{graph.get('functions', 0)} functions, "
+            f"{graph.get('import_edges', 0)} import edges, "
+            f"{graph.get('call_sites', 0)} call sites"
+        )
+    if stats.get("changed_files") is not None:
+        lines.append(
+            f"reporting restricted to {stats['changed_files']} "
+            f"changed file(s)"
+        )
+    if stats.get("baselined"):
+        lines.append(f"baseline: {stats['baselined']} known violation(s) "
+                     f"filtered")
+    return lines
+
+
 def render_text(
-    violations: list[Violation], checked_files: int, suppressed: int = 0
+    violations: list[Violation],
+    checked_files: int,
+    suppressed: int = 0,
+    stats: dict | None = None,
 ) -> str:
     """The text report: one line per violation plus a summary footer."""
     lines = [violation.render() for violation in violations]
+    lines.extend(_stat_lines(stats))
     summary = (
         f"{len(violations)} violation(s) in {checked_files} file(s)"
         + (f", {suppressed} suppressed" if suppressed else "")
@@ -46,9 +88,13 @@ def render_text(
 
 
 def render_json(
-    violations: list[Violation], checked_files: int, suppressed: int = 0
+    violations: list[Violation],
+    checked_files: int,
+    suppressed: int = 0,
+    stats: dict | None = None,
 ) -> str:
-    """The JSON report (schema ``repro-lint/1``)."""
+    """The JSON report (schema ``repro-lint/2``)."""
+    stats = stats if stats is not None else {}
     counts: dict[str, int] = {}
     for violation in violations:
         counts[violation.code] = counts.get(violation.code, 0) + 1
@@ -67,5 +113,15 @@ def render_json(
             }
             for violation in violations
         ],
+        "graph": stats.get("graph"),
+        "timings": {
+            name: round(seconds, 6)
+            for name, seconds in sorted(
+                (stats.get("timings") or {}).items()
+            )
+        },
+        "cache": stats.get("cache"),
+        "baselined": stats.get("baselined", 0),
+        "changed_files": stats.get("changed_files"),
     }
     return json.dumps(document, indent=2, sort_keys=False)

@@ -1,6 +1,6 @@
 """The ``repro trace`` verb: run once with tracing on, report, explain.
 
-Three modes:
+Four modes:
 
 * **run** (default) — execute one configured aggregation with a full
   :class:`~repro.obs.telemetry.RunTelemetry` attached, print the
@@ -10,9 +10,16 @@ Three modes:
   ``--explain`` / re-print its summary without re-running anything.
 * **validate** (``--validate FILE``) — structural schema check; exit 0
   when conformant, 1 otherwise (the ``make trace-smoke`` gate).
+* **diff** (``--diff A B``) — regression triage between two traces:
+  first divergent phase event per member, first divergent round
+  sample, result drift (see :mod:`repro.obs.diff`); exit 0 when the
+  traces agree, 1 otherwise.
 
 Kept out of :mod:`repro.cli` so the observability layer owns its whole
-surface; :mod:`repro.cli` only registers the subparser.
+surface; :mod:`repro.cli` only registers the subparser.  ``repro.obs``
+never imports the experiment stack (REP007 layering): the run-once
+entry point is injected by the composition root, exactly like the
+config factory.
 """
 
 from __future__ import annotations
@@ -54,6 +61,12 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
              "and exit (0 = conformant)",
     )
     parser.add_argument(
+        "--diff", nargs=2, default=None,
+        metavar=("TRACE_A", "TRACE_B"),
+        help="compare two trace files and report the first divergent "
+             "phase event/round per member (0 = identical)",
+    )
+    parser.add_argument(
         "--max-events", type=int, default=None, metavar="N",
         help="cap on stored phase/engine events (counters stay exact)",
     )
@@ -90,19 +103,27 @@ def _query(args: argparse.Namespace) -> int:
     return 0
 
 
-def run_trace(args: argparse.Namespace, make_config) -> int:
+def run_trace(args: argparse.Namespace, make_config, run_once) -> int:
     """Execute the trace verb.  ``make_config(args) -> RunConfig``.
 
-    The config factory is injected by :mod:`repro.cli` (which owns the
-    shared run-argument parsing); importing the experiment runner here is
-    done lazily so ``--validate`` works without building a simulation.
+    Both the config factory and ``run_once`` (the experiment-runner
+    entry point) are injected by :mod:`repro.cli`: the observability
+    layer is a pure consumer of the layers below the experiment stack
+    and must never import it (REP007).  ``--validate``/``--input``/
+    ``--diff`` work without either.
     """
     if args.validate is not None:
         return _validate(args.validate)
+    if args.diff is not None:
+        from repro.obs.diff import diff_traces, render_diff
+
+        delta = diff_traces(
+            load_trace(args.diff[0]), load_trace(args.diff[1])
+        )
+        print(render_diff(delta, args.diff[0], args.diff[1]))
+        return 0 if delta.identical else 1
     if args.input is not None:
         return _query(args)
-    from repro.experiments.runner import run_once
-
     from repro.sim.trace import Tracer
     from repro.obs.phase import PhaseTrace
 

@@ -1,0 +1,230 @@
+"""Regression triage between two ``repro-trace/1`` files.
+
+``repro trace --diff TRACE_A TRACE_B`` answers the question the
+cross-engine and cross-baseline byte-compares raise but cannot answer:
+*where* two runs first part ways.  The unit of comparison is the
+per-member phase-event sequence — the paper's protocol state machine —
+so the report points at the first member/round whose Grid Box
+Hierarchy behaviour changed, not at a byte offset:
+
+* **config** — differing header/config keys (a diff between different
+  configs is usually intentional; it is reported, not rejected);
+* **members** — for every member appearing in either trace, the first
+  index at which its phase-event sequences diverge (different event,
+  or one side ends early), sorted by divergence round so the earliest
+  drift — the root cause under causal event ordering — leads;
+* **rounds** — the first ``round`` sample whose counters differ
+  (message/byte/liveness totals);
+* **result** — drift in the final ``repro-run/1`` record.
+
+Everything is computed from parsed records and reported in sorted
+order, so the output is deterministic for the golden tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.observe import PhaseEvent
+from repro.obs.export import TraceDocument
+
+__all__ = ["MemberDivergence", "TraceDiff", "diff_traces", "render_diff"]
+
+#: Detailed per-member divergences shown before eliding (the summary
+#: line always carries the exact total).
+_MEMBER_DETAIL_CAP = 10
+
+
+@dataclass(frozen=True)
+class MemberDivergence:
+    """The first point where one member's phase-event streams differ."""
+
+    member: int
+    index: int                  #: 0-based position in the event stream.
+    a: PhaseEvent | None        #: None = trace A's stream ended early.
+    b: PhaseEvent | None        #: None = trace B's stream ended early.
+
+    @property
+    def round(self) -> int | None:
+        """The earliest round involved (sort key; None = end-of-stream
+        on both sides, which cannot happen for a real divergence)."""
+        rounds = [e.round for e in (self.a, self.b) if e is not None]
+        return min(rounds) if rounds else None
+
+
+@dataclass
+class TraceDiff:
+    """Everything ``--diff`` found between two traces."""
+
+    config_diffs: list[str] = field(default_factory=list)
+    members: list[MemberDivergence] = field(default_factory=list)
+    #: Members with phase events in either trace (the compared universe).
+    members_compared: int = 0
+    #: ``(round, field, value_a, value_b)`` of the first drifted sample.
+    round_divergence: tuple[int, str, object, object] | None = None
+    result_diffs: list[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not (
+            self.config_diffs
+            or self.members
+            or self.round_divergence
+            or self.result_diffs
+        )
+
+
+def _event_key(event: PhaseEvent) -> tuple:
+    return (
+        event.kind, event.round, event.phase, event.subtree,
+        tuple(event.missing), event.coverage,
+    )
+
+
+def _first_member_divergence(
+    member: int, a: list[PhaseEvent], b: list[PhaseEvent]
+) -> MemberDivergence | None:
+    for index, (event_a, event_b) in enumerate(zip(a, b)):
+        if _event_key(event_a) != _event_key(event_b):
+            return MemberDivergence(member, index, event_a, event_b)
+    if len(a) != len(b):
+        index = min(len(a), len(b))
+        return MemberDivergence(
+            member, index,
+            a[index] if index < len(a) else None,
+            b[index] if index < len(b) else None,
+        )
+    return None
+
+
+def _record_drift(
+    a: dict | None, b: dict | None, skip: tuple[str, ...] = ("record",)
+) -> list[str]:
+    a = a if a is not None else {}
+    b = b if b is not None else {}
+    drift = []
+    for key in sorted(set(a) | set(b)):
+        if key in skip:
+            continue
+        value_a = a.get(key, "<absent>")
+        value_b = b.get(key, "<absent>")
+        if value_a != value_b:
+            drift.append(f"{key}: a={value_a!r} b={value_b!r}")
+    return drift
+
+
+_ROUND_FIELDS = (
+    "messages_sent", "bytes_sent", "messages_dropped",
+    "live_members", "active_members", "max_sends_by_member",
+)
+
+
+def diff_traces(a: TraceDocument, b: TraceDocument) -> TraceDiff:
+    """Structured comparison of two parsed traces (see module doc)."""
+    diff = TraceDiff()
+    diff.config_diffs = _record_drift(
+        a.header.get("config"), b.header.get("config"), skip=()
+    )
+
+    events_a: dict[int, list[PhaseEvent]] = {}
+    for event in a.phase_events:
+        events_a.setdefault(event.member, []).append(event)
+    events_b: dict[int, list[PhaseEvent]] = {}
+    for event in b.phase_events:
+        events_b.setdefault(event.member, []).append(event)
+    members = sorted(set(events_a) | set(events_b))
+    diff.members_compared = len(members)
+    found = []
+    for member in members:
+        divergence = _first_member_divergence(
+            member, events_a.get(member, []), events_b.get(member, [])
+        )
+        if divergence is not None:
+            found.append(divergence)
+    found.sort(key=lambda d: (
+        d.round if d.round is not None else -1, d.member
+    ))
+    diff.members = found
+
+    for index in range(max(len(a.rounds), len(b.rounds))):
+        if index >= len(a.rounds) or index >= len(b.rounds):
+            diff.round_divergence = (
+                index, "samples", len(a.rounds), len(b.rounds)
+            )
+            break
+        sample_a, sample_b = a.rounds[index], b.rounds[index]
+        drifted = next(
+            (
+                name for name in _ROUND_FIELDS
+                if getattr(sample_a, name) != getattr(sample_b, name)
+            ),
+            None,
+        )
+        if drifted is not None:
+            diff.round_divergence = (
+                sample_a.round, drifted,
+                getattr(sample_a, drifted), getattr(sample_b, drifted),
+            )
+            break
+
+    diff.result_diffs = _record_drift(a.result, b.result)
+    return diff
+
+
+def _format_event(event: PhaseEvent | None) -> str:
+    if event is None:
+        return "<stream ended>"
+    extras = ""
+    if event.subtree is not None:
+        extras += f" subtree={event.subtree}"
+    if event.missing:
+        extras += f" missing={','.join(event.missing)}"
+    if event.coverage is not None:
+        extras += f" coverage={event.coverage}"
+    return (
+        f"{event.kind} round={event.round} phase={event.phase}{extras}"
+    )
+
+
+def render_diff(diff: TraceDiff, name_a: str, name_b: str) -> str:
+    """The deterministic text report for ``repro trace --diff``."""
+    lines = [f"trace diff: {name_a} (a) vs {name_b} (b)"]
+    if diff.identical:
+        lines.append("traces are identical "
+                     f"({diff.members_compared} member(s) compared)")
+        return "\n".join(lines)
+    if diff.config_diffs:
+        lines.append(f"config: {len(diff.config_diffs)} differing key(s)")
+        lines.extend(f"  {entry}" for entry in diff.config_diffs)
+    else:
+        lines.append("config: identical")
+    lines.append(
+        f"members: {len(diff.members)} of {diff.members_compared} "
+        f"diverge"
+    )
+    for divergence in diff.members[:_MEMBER_DETAIL_CAP]:
+        lines.append(
+            f"  member {divergence.member}: first divergence at "
+            f"event #{divergence.index}"
+        )
+        lines.append(f"    a: {_format_event(divergence.a)}")
+        lines.append(f"    b: {_format_event(divergence.b)}")
+    elided = len(diff.members) - _MEMBER_DETAIL_CAP
+    if elided > 0:
+        lines.append(f"  ... and {elided} more member(s)")
+    if diff.round_divergence is not None:
+        round_number, field_name, value_a, value_b = diff.round_divergence
+        lines.append(
+            f"rounds: first divergent sample at round {round_number}: "
+            f"{field_name} a={value_a} b={value_b}"
+        )
+    else:
+        lines.append("rounds: identical")
+    if diff.result_diffs:
+        lines.append(
+            f"result: {len(diff.result_diffs)} differing key(s)"
+        )
+        lines.extend(f"  {entry}" for entry in diff.result_diffs)
+    else:
+        lines.append("result: identical")
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import IO, Any
 
@@ -114,7 +115,7 @@ def run_result_record(result: Any) -> dict:
     }
 
 
-def iter_trace_records(telemetry: RunTelemetry):
+def iter_trace_records(telemetry: RunTelemetry) -> Iterator[dict]:
     """Yield the trace's records (dicts) in canonical file order."""
     yield {
         "record": "header",

@@ -26,7 +26,7 @@ class PhaseTrace(PhaseSink):
     """Collects :class:`PhaseEvent` records with per-phase counters."""
 
     def __init__(self, max_events: int = 500_000,
-                 store_events: bool = True):
+                 store_events: bool = True) -> None:
         if max_events < 0:
             raise ValueError("max_events must be non-negative")
         self.max_events = max_events if store_events else 0

@@ -15,6 +15,7 @@ deterministic artifacts (trace JSONL, run JSON, reports).
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 __all__ = ["SectionProfiler"]
@@ -38,7 +39,7 @@ class SectionProfiler:
         self.calls: dict[str, int] = {}
 
     @contextmanager
-    def section(self, name: str):
+    def section(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
         try:
             yield

@@ -27,7 +27,7 @@ Wall-clock profiling (:mod:`repro.obs.profiling`) is opt-in via the
 from __future__ import annotations
 
 import dataclasses
-from contextlib import nullcontext
+from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 
 from repro.obs.phase import PhaseTrace
@@ -164,7 +164,7 @@ class RunTelemetry:
             phase_trace=PhaseTrace(store_events=False),
         )
 
-    def profile(self, section: str):
+    def profile(self, section: str) -> AbstractContextManager[None]:
         """Context manager timing ``section`` (no-op without a profiler)."""
         if self.profiler is None:
             return nullcontext()

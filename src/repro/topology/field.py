@@ -56,7 +56,7 @@ class ScalarField:
 class SensorField:
     """A set of positioned sensors with votes drawn from a scalar field."""
 
-    def __init__(self, positions: dict[int, tuple[float, float]]):
+    def __init__(self, positions: dict[int, tuple[float, float]]) -> None:
         for member_id, (x, y) in positions.items():
             if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
                 raise ValueError(

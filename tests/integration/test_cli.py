@@ -15,6 +15,15 @@ class TestParser:
         args = parser.parse_args(["fig4"])
         assert args.command == "fig4"
 
+    def test_static_figure_ids_match_the_registry(self):
+        # FIGURE_IDS is pinned statically so building the parser never
+        # imports the numpy/scipy figure stack; it must track the real
+        # registry exactly.
+        from repro.cli import FIGURE_IDS
+        from repro.experiments.figures import ALL_FIGURES
+
+        assert FIGURE_IDS == tuple(ALL_FIGURES)
+
     def test_run_arguments(self):
         args = build_parser().parse_args(
             ["run", "--n", "64", "--ucastl", "0.1", "--protocol", "flood"]

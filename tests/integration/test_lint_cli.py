@@ -1,7 +1,9 @@
 """Integration tests for the ``repro lint`` CLI verb.
 
 Pins the exit-code contract (0 clean / 1 violations / 2 usage error),
-the JSON output over the committed fixture corpus, and the repo's own
+the JSON output over the committed fixture corpus, the whole-program
+rules (REP007-REP009 and interprocedural REP002) with their must-fire
+counts, the cache/incremental/baseline machinery, and the repo's own
 acceptance gate: ``repro lint src/`` must be clean.
 """
 
@@ -17,40 +19,48 @@ SRC = REPO / "src"
 CORPUS = REPO / "tests" / "lint_corpus"
 
 #: The corpus' pinned per-rule violation counts (see tests/lint_corpus).
+#: REP002 is 5 per-file findings plus 1 interprocedural finding.
 CORPUS_COUNTS = {
     "REP001": 4,
-    "REP002": 5,
+    "REP002": 6,
     "REP003": 3,
     "REP004": 3,
     "REP005": 5,
     "REP006": 4,
+    "REP007": 2,
+    "REP008": 1,
+    "REP009": 2,
 }
+
+
+def _lint(args):
+    """Run the lint verb without touching the repo's default cache."""
+    return main(["lint", "--no-cache", *args])
 
 
 class TestExitCodes:
     def test_corpus_has_violations(self, capsys):
-        assert main(["lint", str(CORPUS)]) == 1
+        assert _lint([str(CORPUS)]) == 1
         out = capsys.readouterr().out
         assert "REP001" in out and "REP005" in out
 
     def test_clean_file_exits_zero(self, capsys):
-        assert main(["lint", str(CORPUS / "rep001_clean.py")]) == 0
+        assert _lint([str(CORPUS / "rep001_clean.py")]) == 0
         assert "0 violation(s)" in capsys.readouterr().out
 
     def test_unknown_rule_is_usage_error(self, capsys):
-        assert main(["lint", "--rules", "REP999", str(CORPUS)]) == 2
+        assert _lint(["--rules", "REP999", str(CORPUS)]) == 2
         assert "unknown rule" in capsys.readouterr().err
 
     def test_missing_path_is_usage_error(self, capsys):
-        assert main(["lint", str(REPO / "no-such-dir")]) == 2
+        assert _lint([str(REPO / "no-such-dir")]) == 2
         assert "no such file" in capsys.readouterr().err
 
     def test_missing_explicit_suppression_file_is_usage_error(
         self, capsys
     ):
-        code = main([
-            "lint", "--suppressions", str(REPO / "no-such-file"),
-            str(CORPUS),
+        code = _lint([
+            "--suppressions", str(REPO / "no-such-file"), str(CORPUS),
         ])
         assert code == 2
         assert "suppression file not found" in capsys.readouterr().err
@@ -60,29 +70,36 @@ class TestExitCodes:
     ):
         bad = tmp_path / "suppressions"
         bad.write_text("not-a-code foo.py\n")
-        code = main([
-            "lint", "--suppressions", str(bad), str(CORPUS),
-        ])
+        code = _lint(["--suppressions", str(bad), str(CORPUS)])
         assert code == 2
         assert "expected 'CODE path-glob'" in capsys.readouterr().err
 
 
 class TestReportsAndSelection:
     def test_json_report_over_corpus(self, capsys):
-        assert main(["lint", "--format", "json", str(CORPUS)]) == 1
+        assert _lint(["--format", "json", str(CORPUS)]) == 1
         document = json.loads(capsys.readouterr().out)
-        assert document["schema"] == "repro-lint/1"
+        assert document["schema"] == "repro-lint/2"
         assert document["counts"] == CORPUS_COUNTS
         assert document["suppressed"] == 1  # the pragma in suppressed.py
+        assert document["graph"]["modules"] > 0
+        assert document["graph"]["call_sites"] > 0
+        assert "timings" in document
 
     def test_rule_selection_narrows_the_run(self, capsys):
-        assert main(["lint", "--rules", "REP001", str(CORPUS)]) == 1
+        assert _lint(["--rules", "REP001", str(CORPUS)]) == 1
         document_codes = {
             line.split()[1].rstrip(":")
             for line in capsys.readouterr().out.splitlines()
             if ": REP" in line
         }
         assert all(code.startswith("REP001") for code in document_codes)
+
+    def test_select_accepts_project_rules(self, capsys):
+        assert _lint(["--select", "REP007", str(CORPUS)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("REP007") == CORPUS_COUNTS["REP007"]
+        assert "REP001" not in out
 
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
@@ -95,14 +112,157 @@ class TestReportsAndSelection:
     ):
         (tmp_path / ".reprolint").write_text("* *\n")
         monkeypatch.chdir(tmp_path)
-        assert main(["lint", str(CORPUS)]) == 0
+        assert _lint([str(CORPUS)]) == 0
         assert "suppressed" in capsys.readouterr().out
+
+
+class TestProjectRules:
+    """The whole-program rules over the corpus mini-project."""
+
+    def test_each_project_rule_fires_its_pinned_count(self, capsys):
+        for code in ("REP007", "REP008", "REP009"):
+            assert _lint(["--select", code, str(CORPUS)]) == 1
+            out = capsys.readouterr().out
+            assert out.count(code) == CORPUS_COUNTS[code], code
+
+    def test_interprocedural_rep002_needs_the_call_graph(self, capsys):
+        """The miss-proof: the fixture is clean in a per-file run."""
+        fixture = CORPUS / "sim" / "rep002_interproc_bad.py"
+        assert _lint([str(fixture)]) == 0
+        capsys.readouterr()
+        # ...but fires when the whole corpus (including timeutil.py,
+        # the module hiding the clock) is on the call graph.
+        assert _lint(["--select", "REP002", str(CORPUS)]) == 1
+        out = capsys.readouterr().out
+        assert str(fixture) in out
+        assert "timeutil.stamp -> timeutil._now -> time.time" in out
+
+    def test_clean_twins_stay_silent(self, capsys):
+        out_dir = CORPUS / "sim"
+        for name in ("rep007_clean.py", "rep008_clean.py",
+                     "rep009_clean.py"):
+            capsys.readouterr()
+            assert _lint([
+                str(out_dir / name), str(out_dir / "engine.py"),
+                str(out_dir / "array_engine.py"),
+                str(out_dir / "observe.py"),
+            ]) in (0, 1)
+            out = capsys.readouterr().out
+            assert str(out_dir / name) not in out, name
+
+
+class TestCacheAndIncremental:
+    def test_warm_cache_reports_hits_and_same_result(
+        self, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache.json"
+        assert main([
+            "lint", "--cache", str(cache), str(CORPUS),
+        ]) == 1
+        cold = capsys.readouterr().out
+        assert "miss(es)" in cold
+        assert main([
+            "lint", "--cache", str(cache), str(CORPUS),
+        ]) == 1
+        warm = capsys.readouterr().out
+        assert "0 miss(es)" in warm
+        # identical findings either way
+        strip = lambda text: [
+            line for line in text.splitlines() if ": REP" in line
+        ]
+        assert strip(cold) == strip(warm)
+
+    def test_cache_invalidates_on_content_change(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        target = tmp_path / "module.py"
+        target.write_text("import random\n\ndef f():\n"
+                          "    return random.random()\n")
+        assert main(["lint", "--cache", str(cache), str(target)]) == 1
+        capsys.readouterr()
+        target.write_text("def f():\n    return 0.5\n")
+        assert main(["lint", "--cache", str(cache), str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "1 miss(es)" in out
+
+    def test_changed_mode_filters_to_modified_files(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+        subprocess.run(
+            ["git", "init", "-q", str(tmp_path)], check=True
+        )
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f():\n    return 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def g():\n    return 2\n")
+        subprocess.run(
+            [*git, "-C", str(tmp_path), "add", "-A"], check=True
+        )
+        subprocess.run(
+            [*git, "-C", str(tmp_path), "commit", "-qm", "seed"],
+            check=True,
+        )
+        dirty.write_text(
+            "import random\n\ndef g():\n    return random.random()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert _lint(["--changed", "HEAD", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out
+        assert "clean.py" not in out
+
+    def test_changed_outside_a_repo_is_usage_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "x.py").write_text("x = 1\n")
+        assert _lint(["--changed", "HEAD", str(tmp_path)]) == 2
+        assert capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_baseline_masks_known_violations(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert _lint([
+            "--write-baseline", str(baseline), str(CORPUS),
+        ]) == 0
+        document = json.loads(baseline.read_text())
+        assert document["schema"] == "repro-lint-baseline/1"
+        capsys.readouterr()
+        assert _lint(["--baseline", str(baseline), str(CORPUS)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline: 30 known violation(s) filtered" in out
+
+    def test_new_violations_break_through_the_baseline(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "module.py"
+        target.write_text("import random\n\ndef f():\n"
+                          "    return random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert _lint([
+            "--write-baseline", str(baseline), str(target),
+        ]) == 0
+        target.write_text(
+            "import random\n\ndef f():\n    return random.random()\n"
+            "\ndef g():\n    return random.random()\n"
+        )
+        capsys.readouterr()
+        assert _lint(["--baseline", str(baseline), str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        assert _lint([
+            "--baseline", str(tmp_path / "nope.json"), str(CORPUS),
+        ]) == 2
+        assert capsys.readouterr().err
 
 
 class TestAcceptanceGate:
     def test_repo_source_tree_is_clean(self, capsys):
         """The repo's own gate: zero unsuppressed violations in src/."""
-        assert main(["lint", str(SRC)]) == 0
+        assert _lint([str(SRC)]) == 0
         assert "0 violation(s)" in capsys.readouterr().out
 
     def test_standalone_module_entry_point(self):
@@ -113,3 +273,4 @@ class TestAcceptanceGate:
         )
         assert completed.returncode == 0
         assert "REP001" in completed.stdout
+        assert "REP009" in completed.stdout

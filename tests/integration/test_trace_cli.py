@@ -241,6 +241,48 @@ class TestTraceCli:
         assert "beyond the storage cap" in capsys.readouterr().out
 
 
+class TestTraceDiffCli:
+    def _write_trace(self, tmp_path, name, seed):
+        out = tmp_path / name
+        assert main([
+            "trace", "--n", "64", "--ucastl", "0.4",
+            "--seed", str(seed), "--out", str(out), "--explain", "0",
+        ]) == 0
+        return out
+
+    def test_same_run_diffs_identical(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path, "a.jsonl", seed=1)
+        b = self._write_trace(tmp_path, "b.jsonl", seed=1)
+        capsys.readouterr()
+        assert main(["trace", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "traces are identical" in out
+        assert "member(s) compared" in out
+
+    def test_different_seeds_diverge_with_triage_detail(
+        self, tmp_path, capsys
+    ):
+        a = self._write_trace(tmp_path, "a.jsonl", seed=1)
+        b = self._write_trace(tmp_path, "b.jsonl", seed=2)
+        capsys.readouterr()
+        assert main(["trace", "--diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "config: 1 differing key(s)" in out
+        assert "seed: a=1 b=2" in out
+        assert "diverge" in out
+        assert "first divergence at event #" in out
+
+    def test_diff_output_is_deterministic(self, tmp_path, capsys):
+        a = self._write_trace(tmp_path, "a.jsonl", seed=1)
+        b = self._write_trace(tmp_path, "b.jsonl", seed=2)
+        capsys.readouterr()
+        main(["trace", "--diff", str(a), str(b)])
+        first = capsys.readouterr().out
+        main(["trace", "--diff", str(a), str(b)])
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestRunJsonCli:
     def test_run_json_stdout(self, capsys):
         assert main([

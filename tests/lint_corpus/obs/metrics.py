@@ -1,0 +1,13 @@
+"""Corpus support: a stand-in observability module so the REP007
+fixtures have a real intra-project import target (the layering rule
+only constrains imports that resolve to indexed modules).  Clean by
+construction.
+"""
+
+
+class RoundLog:
+    def __init__(self):
+        self.rows = []
+
+    def push(self, row):
+        self.rows.append(row)

@@ -1,0 +1,16 @@
+"""Interprocedural REP002 corpus: the escape the per-file pass misses.
+
+``stamp`` looks harmless at this call site — the per-file rule only
+bans direct calls to known nondeterminism sources, and stays silent
+here (pinned by a unit test).  The whole-program pass propagates taint
+``time.time -> timeutil._now -> timeutil.stamp`` through the call
+graph and flags the call below.  Expected: 1 REP002 violation, from
+the project rule only.
+"""
+
+from timeutil import stamp
+
+
+def record_round(log):
+    log.append(stamp())
+    return log

@@ -1,0 +1,15 @@
+"""REP007 corpus: the simulation substrate reaching *up* into the
+observability layer — the dependency direction the layering spec
+forbids (``sim`` may import nothing project-internal; ``obs`` is a
+pure consumer).  Expected: 2 REP007 violations, one per import.
+"""
+
+import obs.metrics
+from obs.metrics import RoundLog
+
+
+def record(samples):
+    log = RoundLog()
+    for sample in samples:
+        log.push(sample)
+    return obs.metrics.RoundLog

@@ -1,0 +1,13 @@
+"""REP007 clean twin: same-unit imports are always allowed, and
+imports of modules outside the layered units are unconstrained.
+Expected: 0 violations.
+"""
+
+from sim.observe import PhaseSink
+
+
+def collect(events):
+    sink = PhaseSink()
+    for event in events:
+        sink.emit(event)
+    return sink.events

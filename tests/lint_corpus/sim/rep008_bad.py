@@ -1,0 +1,12 @@
+"""REP008 corpus: a branch-dependent draw on a *shared* named stream
+inside a helper that both engine roots call.  The draw count now
+depends on ``drop``, so object and array replay consume different
+stream positions.  Expected: 1 REP008 violation.
+"""
+
+
+def branchy_loss(rngs, drop):
+    stream = rngs.stream("network", "loss")
+    if drop:
+        return stream.random()
+    return 0.0

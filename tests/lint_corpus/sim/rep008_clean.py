@@ -1,0 +1,17 @@
+"""REP008 clean twin: an *unconditional* draw on a shared stream is
+fine (same count on every path), and a branch-dependent draw on a
+*per-member* stream (non-constant key parts) is fine too — per-member
+streams cannot skew other members' replay.  Expected: 0 violations.
+"""
+
+
+def steady_loss(rngs):
+    stream = rngs.stream("network", "loss")
+    return stream.random()
+
+
+def member_jitter(rngs, node_id):
+    stream = rngs.stream("jitter", node_id)
+    if node_id % 2:
+        return stream.random()
+    return 0.0

@@ -1,0 +1,20 @@
+"""REP009 corpus: observable sites with no array-path counterpart.
+
+Only ``sim/engine.py`` (the object root) calls into this class, so the
+``finalize`` phase event and the ``check_phase_bump`` sanitizer hook
+are reachable on exactly one engine path.  Expected: 2 REP009
+violations (one per unpaired site class), both reported here.
+"""
+
+from sim.observe import PhaseEvent
+
+
+class ObjectOnlyEmitter:
+    def __init__(self, sink):
+        self.sink = sink
+
+    def emit_finalize(self, member, round_number):
+        self.sink.emit(PhaseEvent("finalize", member, round_number, 3))
+
+    def guard_bump(self, shield, member, round_number):
+        return shield.check_phase_bump(member, round_number)

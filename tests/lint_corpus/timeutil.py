@@ -1,0 +1,16 @@
+"""Corpus support for the interprocedural REP002 fixture: a helper
+module *outside* the deterministic packages hiding a wall-clock read
+behind one level of indirection.  The per-file REP002 never looks at
+this file (no ``sim``/``core``/``chaos``/``baselines`` path segment);
+only the call-graph taint pass connects it back to its callers.
+"""
+
+import time
+
+
+def stamp():
+    return _now()
+
+
+def _now():
+    return time.time()

@@ -155,7 +155,7 @@ class TestReports:
     def test_json_report_schema(self):
         violations = [_violation(), _violation(code="REP004", line=9)]
         document = json.loads(render_json(violations, 7, suppressed=1))
-        assert document["schema"] == JSON_SCHEMA_VERSION == "repro-lint/1"
+        assert document["schema"] == JSON_SCHEMA_VERSION == "repro-lint/2"
         assert document["checked_files"] == 7
         assert document["suppressed"] == 1
         assert document["counts"] == {"REP001": 1, "REP004": 1}

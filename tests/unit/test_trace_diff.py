@@ -1,0 +1,131 @@
+"""Unit tests for ``repro trace --diff`` (the regression-triage tool).
+
+Synthetic :class:`TraceDocument` pairs pin the divergence semantics —
+first differing phase event per member, earliest-round ordering,
+end-of-stream handling, round-counter drift, config/result drift — and
+the renderer's deterministic text.  The CLI surface is covered in
+``tests/integration/test_trace_cli.py``.
+"""
+
+from repro.core.observe import PhaseEvent
+from repro.obs.diff import diff_traces, render_diff
+from repro.obs.export import TraceDocument
+from repro.sim.metrics import RoundSample
+
+
+def _event(member, round_number, kind="phase_enter", **kwargs):
+    return PhaseEvent(
+        kind=kind, member=member, round=round_number, phase=1, **kwargs
+    )
+
+
+def _sample(round_number, sent=10):
+    return RoundSample(
+        round=round_number, messages_sent=sent, bytes_sent=sent * 100,
+        messages_dropped=0, live_members=8, active_members=8,
+        max_sends_by_member=2,
+    )
+
+
+def _document(events=(), rounds=(), config=None, result=None):
+    return TraceDocument(
+        header={"config": config or {}},
+        phase_events=list(events),
+        rounds=list(rounds),
+        result=result,
+    )
+
+
+class TestDiffTraces:
+    def test_identical_traces(self):
+        events = [_event(0, 1), _event(1, 1)]
+        diff = diff_traces(_document(events), _document(list(events)))
+        assert diff.identical
+        assert diff.members_compared == 2
+
+    def test_first_differing_event_wins(self):
+        a = [_event(0, 1), _event(0, 2, "bump_up_early")]
+        b = [_event(0, 1), _event(0, 2, "bump_up_timeout")]
+        [divergence] = diff_traces(_document(a), _document(b)).members
+        assert divergence.member == 0
+        assert divergence.index == 1
+        assert divergence.a.kind == "bump_up_early"
+        assert divergence.b.kind == "bump_up_timeout"
+        assert divergence.round == 2
+
+    def test_stream_ending_early_is_a_divergence(self):
+        a = [_event(0, 1), _event(0, 2)]
+        b = [_event(0, 1)]
+        [divergence] = diff_traces(_document(a), _document(b)).members
+        assert divergence.index == 1
+        assert divergence.b is None
+        assert divergence.round == 2
+
+    def test_member_only_in_one_trace(self):
+        diff = diff_traces(_document([_event(7, 3)]), _document([]))
+        [divergence] = diff.members
+        assert divergence.member == 7
+        assert divergence.index == 0
+        assert divergence.b is None
+
+    def test_members_sorted_by_divergence_round(self):
+        # Member 5 diverges at round 1, member 2 at round 4 — the
+        # earlier drift (the likelier root cause) must lead.
+        a = [_event(2, 4), _event(5, 1, "bump_up_early")]
+        b = [_event(2, 4, "finalize"), _event(5, 1, "bump_up_timeout")]
+        diff = diff_traces(_document(a), _document(b))
+        assert [d.member for d in diff.members] == [5, 2]
+
+    def test_missing_and_coverage_participate_in_the_key(self):
+        a = [_event(0, 1, "finalize", coverage=0.5)]
+        b = [_event(0, 1, "finalize", coverage=1.0)]
+        assert diff_traces(_document(a), _document(b)).members
+
+    def test_round_counter_drift(self):
+        a = _document(rounds=[_sample(0), _sample(1, sent=10)])
+        b = _document(rounds=[_sample(0), _sample(1, sent=12)])
+        diff = diff_traces(a, b)
+        assert diff.round_divergence == (1, "messages_sent", 10, 12)
+
+    def test_round_sample_count_mismatch(self):
+        a = _document(rounds=[_sample(0), _sample(1)])
+        b = _document(rounds=[_sample(0)])
+        diff = diff_traces(a, b)
+        assert diff.round_divergence == (1, "samples", 2, 1)
+
+    def test_config_and_result_drift(self):
+        a = _document(config={"seed": 0, "n": 64}, result={"rounds": 9})
+        b = _document(config={"seed": 1, "n": 64}, result={"rounds": 11})
+        diff = diff_traces(a, b)
+        assert diff.config_diffs == ["seed: a=0 b=1"]
+        assert diff.result_diffs == ["rounds: a=9 b=11"]
+
+
+class TestRenderDiff:
+    def test_identical_report(self):
+        diff = diff_traces(_document([_event(0, 1)]),
+                           _document([_event(0, 1)]))
+        text = render_diff(diff, "x.jsonl", "y.jsonl")
+        assert text.splitlines() == [
+            "trace diff: x.jsonl (a) vs y.jsonl (b)",
+            "traces are identical (1 member(s) compared)",
+        ]
+
+    def test_divergent_report_is_deterministic(self):
+        a = _document(
+            [_event(m, 1) for m in range(15)],
+            config={"seed": 0},
+        )
+        b = _document(
+            [_event(m, 1, "finalize") for m in range(15)],
+            config={"seed": 1},
+        )
+        first = render_diff(diff_traces(a, b), "a", "b")
+        second = render_diff(diff_traces(a, b), "a", "b")
+        assert first == second
+        assert "members: 15 of 15 diverge" in first
+        assert "... and 5 more member(s)" in first
+
+    def test_end_of_stream_rendering(self):
+        diff = diff_traces(_document([_event(0, 1)]), _document([]))
+        assert "<stream ended>" in render_diff(diff, "a", "b")
