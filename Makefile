@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke figures examples clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke serve-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,7 +13,7 @@ lint:             ## determinism/invariant lint (REP rules) + mypy when installe
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy src/repro/sim src/repro/core src/repro/chaos \
 			src/repro/obs src/repro/baselines src/repro/topology \
-			src/repro/experiments; \
+			src/repro/experiments src/repro/net; \
 	else \
 		echo "mypy not installed locally; skipping type check (CI runs it)"; \
 	fi
@@ -57,6 +57,13 @@ chaos-adversarial-smoke: ## adversarial campaigns: detection + matrix byte-ident
 	cmp /tmp/repro-matrix-j1.json /tmp/repro-matrix-j2.json
 	cmp /tmp/repro-matrix-j1.csv /tmp/repro-matrix-j2.csv
 	@echo "adversarial smoke ok: detection asserted, matrix byte-identical across --jobs"
+
+serve-smoke:      ## 8 live localhost UDP nodes must converge, then exit clean
+	PYTHONPATH=src python -m repro serve --members 8 --port 9390 \
+		--tick 0.01 --deadline 60 --rounds-factor-c 2.0 --json \
+		> /tmp/repro-serve-smoke.json
+	PYTHONPATH=src python -c "import json; r = json.load(open('/tmp/repro-serve-smoke.json')); assert r['completeness'] == 1.0, r"
+	@echo "serve smoke ok: 8 UDP nodes converged at completeness 1.0"
 
 trace-smoke:      ## run one traced aggregation, validate the JSONL, check layering
 	PYTHONPATH=src python -m repro trace --n 64 --ucastl 0.4 --seed 1 \

@@ -24,7 +24,7 @@ import repro.sanitize as sanitize
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.messages import Dissemination, VoteReport
 from repro.core.protocol import AggregationProcess
-from repro.sim.engine import Context
+from repro.core.runtime import Context
 from repro.sim.network import Message
 
 __all__ = ["CentralizedProcess", "build_centralized_group"]

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.messages import ID_SIZE
 from repro.core.protocol import AggregationProcess
-from repro.sim.engine import Context
+from repro.core.runtime import Context
 from repro.sim.network import Message
 from repro.sim.sampling import BlockedSampler
 

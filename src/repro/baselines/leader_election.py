@@ -36,7 +36,7 @@ from repro.core.aggregates import AggregateFunction, AggregateState
 from repro.core.gridbox import GridAssignment, SubtreeId
 from repro.core.messages import AggregateReport, Dissemination
 from repro.core.protocol import AggregationProcess
-from repro.sim.engine import Context
+from repro.core.runtime import Context
 from repro.sim.network import Message
 
 __all__ = ["LeaderElectionProcess", "build_leader_election_group"]

@@ -58,6 +58,21 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "'object'/'array' force one")
 
 
+def _parse_endpoint(value: str) -> tuple[str, int]:
+    """argparse type for HOST:PORT addresses (``repro serve --seed``)."""
+    host, __, port = value.rpartition(":")
+    if not host:
+        raise argparse.ArgumentTypeError(
+            f"address {value!r} is not HOST:PORT"
+        )
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port in {value!r} is not an integer"
+        ) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -237,6 +252,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--trigger-above", type=float, default=None, metavar="T",
         help="count members whose epoch estimate exceeds this threshold "
              "(the paper's release-coolant actuation pattern)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run live UDP nodes computing an aggregate (see docs/NET.md)",
+        description=(
+            "Host aggregation-protocol members on localhost UDP.  By "
+            "default all --members nodes run in this process on ports "
+            "--port .. --port+N-1 with node 0 as the bootstrap seed; "
+            "--node ID hosts a single member that joins via --seed "
+            "HOST:PORT.  Exits 0 on convergence or SIGTERM, 1 if "
+            "--deadline elapses first."
+        ),
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=9300,
+        help="base UDP port (group mode) or this node's port",
+    )
+    serve_parser.add_argument(
+        "--members", type=int, default=8, help="group size N",
+    )
+    serve_parser.add_argument(
+        "--seed", type=_parse_endpoint, default=None, metavar="HOST:PORT",
+        help="bootstrap seed address (single-node mode)",
+    )
+    serve_parser.add_argument(
+        "--node", type=int, default=None, metavar="ID",
+        help="host only this member id (default: whole group)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--run-seed", type=int, default=0,
+        help="the deterministic experiment seed (votes and gossip draws)",
+    )
+    serve_parser.add_argument("--k", type=int, default=4)
+    serve_parser.add_argument("--aggregate", default="average")
+    serve_parser.add_argument("--fanout", type=int, default=2)
+    serve_parser.add_argument(
+        "--rounds-factor-c", type=float, default=1.0,
+    )
+    serve_parser.add_argument(
+        "--tick", type=float, default=0.05, metavar="SECONDS",
+        help="wall-clock length of one gossip round",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="give up (exit 1) if not converged in time; 0 = no deadline",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true",
+        help="print the final repro-run/1 record (group mode)",
     )
     return parser
 
@@ -449,6 +515,12 @@ def _run_monitor(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # SIGTERM runs registered cleanups, then exits 143; atexit alone
+    # never fires on a signal death, so pools used to leak (see
+    # repro.shutdown).  SIGINT keeps KeyboardInterrupt semantics.
+    from repro import shutdown
+
+    shutdown.install()
     try:
         return _dispatch(build_parser().parse_args(argv))
     finally:
@@ -485,6 +557,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return run_lint(args)
     if args.command == "monitor":
         return _run_monitor(args)
+    if args.command == "serve":
+        from repro.net.serve import run_serve
+
+        return run_serve(args)
     return _run_figure(args.command, args)
 
 

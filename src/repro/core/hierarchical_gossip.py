@@ -45,7 +45,7 @@ from repro.core.observe import (
     format_subtree,
 )
 from repro.core.protocol import AggregationProcess
-from repro.sim.engine import Context
+from repro.core.runtime import Context
 from repro.sim.network import Message
 from repro.sim.sampling import BlockedSampler
 

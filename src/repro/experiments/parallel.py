@@ -54,6 +54,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from repro import shutdown
 from repro.core.protocol import CompletenessReport
 from repro.experiments.params import RunConfig
 from repro.experiments.runner import RunResult, run_once
@@ -241,6 +242,9 @@ def close_shared_runners() -> None:
 
 
 atexit.register(close_shared_runners)
+# atexit never fires on a signal death; the shutdown registry covers
+# SIGTERM so a killed CLI run does not leak its worker pool.
+shutdown.on_shutdown(close_shared_runners)
 
 
 # -- array-packed result transport --------------------------------------

@@ -79,6 +79,10 @@ class RunResult:
     #: Crash recoveries observed during the run (0 without a recovering
     #: failure model or churn campaign).
     recoveries: int = 0
+    #: Sends refused outright by the per-round bandwidth cap (they never
+    #: reach the wire and are not in ``messages_sent``); nonzero only
+    #: under a ``max_sends_per_round`` limit or a throttling campaign.
+    messages_rejected: int = 0
     #: Mean self-assessed coverage fraction over the same member set as
     #: ``mean_estimate_error`` (graceful-degradation signal: < 1.0 means
     #: members knowingly finished with partial aggregates).  Falls back
@@ -481,6 +485,7 @@ def _run_built(
         mean_estimate_error=(sum(errors) / len(errors)) if errors else
         float("nan"),
         recoveries=engine.stats.recoveries,
+        messages_rejected=network.stats.rejected_bandwidth,
         mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
         telemetry=summary,

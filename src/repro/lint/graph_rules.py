@@ -1,4 +1,4 @@
-"""Project-wide (graph-powered) lint rules: REP007-REP009 + REP002.
+"""Project-wide (graph-powered) lint rules: REP007-REP010 + REP002.
 
 These rules run over the linked :class:`repro.lint.project.ProjectIndex`
 rather than one file at a time, so they can see import edges, call
@@ -26,6 +26,11 @@ edges and engine-path reachability:
   emitted, the ``Network.plan_delivery``/``plan_delivery_block`` pair,
   and each runtime-sanitizer hook form an equivalence class that must
   be reachable from both engine paths or neither.
+* **REP010** — liveness-oracle containment.  ``Context.is_alive`` is
+  the simulator's omniscient process table; a real group member has no
+  such oracle, so only the measurement layers
+  (:data:`ORACLE_CONSUMER_UNITS`) may call it.  Protocol code that
+  branches on it would simulate an unimplementable algorithm.
 * **REP002** (interprocedural) — the per-file wall-clock/entropy rule
   only sees direct calls; this pass propagates taint from banned
   sources (``time.time``, ``os.environ``, ``uuid`` ...) backwards
@@ -77,6 +82,8 @@ LAYERS: dict[str, frozenset[str]] = {
     # obs is a pure consumer of the layers below the experiment stack
     "obs": frozenset({"core", "sanitize", "sim"}),
     "monitoring": frozenset({"core", "obs", "sanitize", "sim"}),
+    # the live UDP runtime: hosts core protocols, reports through obs
+    "net": frozenset({"core", "obs", "sanitize", "sim"}),
     "experiments": frozenset({
         "analysis", "baselines", "chaos", "core", "mib", "monitoring",
         "obs", "sanitize", "sim", "topology",
@@ -343,11 +350,53 @@ class InterproceduralWallClockRule(ProjectRule):
                     )
 
 
+#: Units whose job is *measuring* runs; only they may consult the
+#: simulator's ``is_alive`` liveness oracle (REP010).
+ORACLE_CONSUMER_UNITS = frozenset({"obs", "sanitize", "experiments"})
+
+
+class OracleLivenessRule(ProjectRule):
+    """REP010: protocol code must not consult the liveness oracle.
+
+    ``Context.is_alive`` answers from the simulator's global process
+    table — knowledge no real group member has (the UDP runtime can
+    only return its ping-based *guess*).  A protocol that branches on
+    it simulates an impossible algorithm: its measured completeness
+    stops being evidence about the paper's failure-detector-free
+    design.  Only the measurement layers (:data:`ORACLE_CONSUMER_UNITS`)
+    may call it; everything else gets flagged, whichever object the
+    call is made on.
+    """
+
+    code = "REP010"
+    summary = (
+        "liveness-oracle call (is_alive) outside the measurement layers"
+    )
+
+    def check(self, index: ProjectIndex) -> Iterator[Violation]:
+        for fq in sorted(index.functions):
+            info = index.functions[fq]
+            module = info["module"]
+            if unit_of(module) in ORACLE_CONSUMER_UNITS:
+                continue
+            for call in info.get("oracle_calls", ()):
+                yield self.violation(
+                    index.path_of(module), call["line"],
+                    f"'{fq}' consults the is_alive liveness oracle; "
+                    f"only the measurement layers "
+                    f"({', '.join(sorted(ORACLE_CONSUMER_UNITS))}) may "
+                    f"— a real process group has no such oracle, so "
+                    f"protocol behaviour must not depend on it. Derive "
+                    f"the decision from received messages instead",
+                )
+
+
 ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     InterproceduralWallClockRule(),
     LayeringRule(),
     StreamDisciplineRule(),
     EngineParityRule(),
+    OracleLivenessRule(),
 )
 
 

@@ -240,6 +240,7 @@ class _FunctionWalker:
         self.phase_emits: list[dict] = []
         self.plan_calls: list[dict] = []
         self.sanitize_hooks: list[dict] = []
+        self.oracle_calls: list[dict] = []
 
     # -- driving --------------------------------------------------------
     def walk_body(self, body: list[ast.stmt], depth: int) -> None:
@@ -444,6 +445,9 @@ class _FunctionWalker:
             self.plan_calls.append(
                 {"name": func.attr, "line": node.lineno}
             )
+        # 4b. liveness-oracle consultations (REP010)
+        if isinstance(func, ast.Attribute) and func.attr == "is_alive":
+            self.oracle_calls.append({"line": node.lineno})
         # 5. the call-graph edge itself
         ref = self._call_ref(node)
         if ref is not None:
@@ -719,6 +723,7 @@ def _summarize_function(
         "phase_emits": walker.phase_emits,
         "plan_calls": walker.plan_calls,
         "sanitize_hooks": walker.sanitize_hooks,
+        "oracle_calls": walker.oracle_calls,
     }
 
 
@@ -1115,7 +1120,9 @@ class LintCache:
     (cached) summaries each run.
     """
 
-    SCHEMA = "repro-lint-cache/1"
+    # /2: function summaries gained the ``oracle_calls`` key (REP010);
+    # /1 caches lack it, so they must not satisfy a /2 run.
+    SCHEMA = "repro-lint-cache/2"
 
     def __init__(self, path: Path | None):
         self.path = path

@@ -40,7 +40,8 @@ from repro.core.aggregates import (
 )
 from repro.core.gridbox import GridAssignment, SubtreeId
 from repro.core.messages import ID_SIZE
-from repro.sim.engine import Context, Process
+from repro.core.runtime import Context
+from repro.sim.engine import Process
 from repro.sim.network import Message
 
 __all__ = ["MibRow", "MibSlice", "MibProcess", "build_mib_group"]

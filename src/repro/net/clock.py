@@ -1,0 +1,68 @@
+"""The wall-clock round ticker driving live nodes.
+
+This is the one place the repository's runtime maps protocol rounds to
+real time: :class:`RoundTicker` fires a callback every ``interval``
+seconds of the running asyncio loop.  Wall-clock time is confined to
+``repro/net`` by design — the determinism lint (REP002) exempts this
+package precisely because a live network is not replayable — and even
+here the loop's own monotonic clock (``loop.time()``) is used rather
+than the ``time`` module, so drift correction is immune to system
+clock steps.
+
+Ticks that fall behind (a callback overruns the interval) are *not*
+replayed in a burst: the ticker re-anchors to the next future slot.
+A gossip round that happens late is fine; ``M`` gossip rounds fired
+back-to-back would distort the loss/latency regime the protocol's
+round budget assumes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+__all__ = ["RoundTicker"]
+
+
+class RoundTicker:
+    """Invoke ``callback()`` every ``interval`` seconds until stopped.
+
+    ``callback`` returning ``True`` stops the ticker (convergence);
+    any other return keeps it running.  Exceptions propagate and stop
+    the ticker — the serve loop treats that as fatal.
+    """
+
+    def __init__(self, interval: float, callback: Callable[[], object]):
+        if interval <= 0:
+            raise ValueError("tick interval must be positive")
+        self.interval = interval
+        self.callback = callback
+        self._stopped = asyncio.Event()
+
+    def stop(self) -> None:
+        """Request a stop; the run() loop exits before its next tick."""
+        self._stopped.set()
+
+    async def run(self) -> None:
+        """Tick until stopped or the callback signals convergence."""
+        loop = asyncio.get_running_loop()
+        next_tick = loop.time() + self.interval
+        while not self._stopped.is_set():
+            now = loop.time()
+            delay = next_tick - now
+            if delay > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._stopped.wait(), timeout=delay
+                    )
+                    return
+                except asyncio.TimeoutError:
+                    pass
+            if self.callback() is True:
+                return
+            now = loop.time()
+            next_tick += self.interval
+            if next_tick <= now:
+                # Fell behind: skip the missed slots instead of bursting.
+                missed = int((now - next_tick) / self.interval) + 1
+                next_tick += missed * self.interval

@@ -1,0 +1,74 @@
+"""Ping-based peer liveness — a *metrics* view, never a protocol input.
+
+Each tick a node pings one peer, chosen round-robin over the address
+book, and records the tick it last heard anything (ping, pong, or
+gossip) from each peer.  A peer silent for ``miss_threshold`` probe
+intervals is *suspected*.
+
+The suspicion list feeds ``repro serve`` status output and the
+``is_alive`` answer of :class:`repro.net.NetContext` — which protocol
+code is forbidden to call (lint rule REP010).  Hierarchical Gossiping
+needs no failure detector (the paper's central point); this module
+exists so an operator watching a live group can see who went quiet,
+not so the protocol can react to it.
+
+Probe targets are drawn round-robin rather than from a random stream on
+purpose: the protocol's deterministic per-process streams must see
+exactly the same draw sequence as under the simulator, and a control-
+plane consumer of randomness would be one refactor away from violating
+that.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LivenessView"]
+
+
+class LivenessView:
+    """Last-heard bookkeeping for one node over its peer set."""
+
+    def __init__(
+        self, node_id: int, group_size: int, miss_threshold: int = 8
+    ):
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be positive")
+        self.node_id = node_id
+        self.group_size = group_size
+        self.miss_threshold = miss_threshold
+        #: peer id -> tick we last heard any datagram from it.
+        self._last_heard: dict[int, int] = {}
+        self._probe_cursor = 0
+
+    def record_heard(self, peer: int, tick: int) -> None:
+        """Any datagram from ``peer`` counts as a sign of life."""
+        if peer != self.node_id and 0 <= peer < self.group_size:
+            self._last_heard[peer] = tick
+
+    def next_probe_target(self) -> int | None:
+        """The peer to ping this tick (round-robin, skipping self)."""
+        if self.group_size < 2:
+            return None
+        target = self._probe_cursor % self.group_size
+        self._probe_cursor = (target + 1) % self.group_size
+        if target == self.node_id:
+            target = self._probe_cursor % self.group_size
+            self._probe_cursor = (target + 1) % self.group_size
+        return target
+
+    def is_suspected(self, peer: int, tick: int) -> bool:
+        """Silent for ``miss_threshold`` ticks since last heard (or never
+        heard at all once the threshold has elapsed)."""
+        if peer == self.node_id:
+            return False
+        last = self._last_heard.get(peer)
+        if last is None:
+            return tick >= self.miss_threshold
+        return tick - last >= self.miss_threshold
+
+    def suspected(self, tick: int) -> list[int]:
+        """All currently-suspected peers, ascending."""
+        return [
+            peer
+            for peer in range(self.group_size)
+            if peer != self.node_id and self.is_suspected(peer, tick)
+        ]

@@ -1,0 +1,343 @@
+"""One live group member: :class:`NetNode` hosting a protocol process.
+
+The node is **transport-agnostic**: it never touches a socket or an
+event loop.  It is given a ``transport_send(data, address)`` callable
+and exposes two plain entry points —
+
+* :meth:`NetNode.datagram_received` for every inbound datagram, and
+* :meth:`NetNode.tick` for every round tick —
+
+so the same class runs under asyncio UDP (:mod:`repro.net.serve`), the
+deterministic in-memory router (:mod:`repro.net.loopback`), and direct
+unit tests, with identical behaviour.
+
+Lifecycle: the node joins via the seeds every tick
+(:mod:`repro.net.bootstrap`) until its address book is complete, then
+starts its protocol process (``on_start`` and the first ``on_round`` on
+the same tick, mirroring the simulator's round 0) and gossips one round
+per tick thereafter.  Gossip arriving before the process has started is
+dropped and counted — the simulator's round-0 semantics guarantee no
+peer can usefully be ahead of an unstarted member anyway, because its
+own vote is not composed yet.
+
+Determinism contract: :class:`NetContext` derives the process's named
+random streams from ``("process", node_id, *names)`` under the run
+seed, exactly like the simulator's context, and votes come from the
+same block draw as the experiment runner — so a net node's gossip
+decisions under lossless transport are bit-identical to the simulated
+member's (the cross-runtime golden suite pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.aggregates import get_aggregate
+from repro.core.gridbox import shared_dense_assignment
+from repro.core.hashing import FairHash
+from repro.core.hierarchical_gossip import (
+    GossipParams,
+    HierarchicalGossipProcess,
+)
+from repro.core.observe import PhaseSink
+from repro.net.bootstrap import Address, AddressBook
+from repro.net.codec import (
+    CodecError,
+    Gossip,
+    Join,
+    Ping,
+    Pong,
+    Welcome,
+    decode,
+    encode,
+)
+from repro.net.liveness import LivenessView
+from repro.sim.network import Message
+from repro.sim.rng import RngRegistry
+
+__all__ = ["NetContext", "NetNode", "NodeConfig", "NodeStats", "make_votes"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything a member must agree on with its group.
+
+    Mirrors the protocol-relevant subset of
+    :class:`repro.experiments.params.RunConfig` (same defaults), so a
+    simulator run and a live group built from the same values compute
+    the same aggregate from the same votes.
+    """
+
+    node_id: int
+    group_size: int
+    k: int = 4
+    seed: int = 0
+    aggregate: str = "average"
+    fanout_m: int = 2
+    rounds_factor_c: float = 1.0
+    hash_salt: int = 0
+    vote_low: float = 0.0
+    vote_high: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id < self.group_size:
+            raise ValueError(
+                f"node id {self.node_id} outside the group "
+                f"0..{self.group_size - 1}"
+            )
+
+
+@dataclass
+class NodeStats:
+    """Per-node datagram accounting (the net analogue of EngineStats)."""
+
+    datagrams_received: int = 0
+    frames_rejected: int = 0
+    gossip_dropped_unstarted: int = 0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    joins_sent: int = 0
+
+
+def make_votes(config: NodeConfig) -> dict[int, float]:
+    """The group's vote map under this seed.
+
+    Must stay draw-for-draw identical to the experiment runner's
+    ``_make_votes`` (one ``random(n)`` block on the ``votes`` stream):
+    every member derives the full map locally and keeps only its own
+    vote, which is what makes the cross-runtime aggregate comparable.
+    """
+    draws = RngRegistry(config.seed).stream("votes").random(config.group_size)
+    span = config.vote_high - config.vote_low
+    return dict(enumerate((config.vote_low + span * draws).tolist()))
+
+
+class NetContext:
+    """The :class:`repro.core.runtime.Context` of one live node.
+
+    Owned by a single process (unlike the simulator's shared, rebound
+    context): ``round`` is the node's tick count and ``send`` frames the
+    payload onto the wire.
+    """
+
+    def __init__(self, node: "NetNode"):
+        self._node = node
+        self._rng_cache: dict[tuple, Any] = {}
+        self._rngs = RngRegistry(node.config.seed)
+
+    @property
+    def round(self) -> int:
+        """Ticks since this node's protocol started (starts at 0)."""
+        return self._node.tick_count
+
+    def rng_for(self, *names: str | int):
+        """The simulator-identical per-process named stream."""
+        generator = self._rng_cache.get(names)
+        if generator is None:
+            generator = self._rngs.stream(
+                "process", self._node.config.node_id, *names
+            )
+            self._rng_cache[names] = generator
+        return generator
+
+    def send(self, dest: int, payload: Any, size: int = 1) -> bool:
+        """Frame and transmit one gossip payload.
+
+        Always returns True: this runtime imposes no local bandwidth
+        cap, and UDP gives no delivery signal — loss happens on the
+        wire, as the contract allows.  ``size`` (the protocol's
+        abstract byte count) is ignored; real datagram sizes are
+        accounted in :class:`NodeStats`.
+        """
+        self._node._send_gossip(dest, payload)
+        return True
+
+    def is_alive(self, node_id: int) -> bool:
+        """Best-effort liveness from the ping view (REP010: metrics and
+        experiments only — protocol code must never call this, and on a
+        real network the answer is necessarily a guess)."""
+        node = self._node
+        return not node.liveness.is_suspected(node_id, node.tick_count)
+
+    def terminate(self) -> None:
+        """Mark the hosted process as finished with its protocol."""
+        process = self._node.process
+        if not process.terminated:
+            process.terminated = True
+
+
+class NetNode:
+    """One group member: bootstrap, liveness, and a protocol process."""
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        transport_send: Callable[[bytes, Address], None],
+        seeds: tuple[Address, ...] = (),
+        phase_sink: PhaseSink | None = None,
+        miss_threshold: int = 8,
+    ):
+        self.config = config
+        self.transport_send = transport_send
+        self.seeds = tuple(seeds)
+        self.stats = NodeStats()
+        self.book = AddressBook(config.group_size)
+        self.liveness = LivenessView(
+            config.node_id, config.group_size, miss_threshold=miss_threshold
+        )
+        self.started = False
+        self.tick_count = 0
+        votes = make_votes(config)
+        assignment = shared_dense_assignment(
+            config.group_size, config.k, config.group_size,
+            FairHash(salt=config.hash_salt),
+        )
+        self.process = HierarchicalGossipProcess(
+            node_id=config.node_id,
+            vote=votes[config.node_id],
+            function=get_aggregate(config.aggregate),
+            assignment=assignment,
+            view=tuple(votes),
+            params=GossipParams(
+                fanout_m=config.fanout_m,
+                rounds_factor_c=config.rounds_factor_c,
+            ),
+            phase_sink=phase_sink,
+        )
+        self.ctx = NetContext(self)
+
+    # -- identity ------------------------------------------------------
+
+    def register_self(self, address: Address) -> None:
+        """Record this node's own bound address in its book."""
+        self.book.record(self.config.node_id, address)
+
+    @property
+    def terminated(self) -> bool:
+        """The hosted process finalized its global-aggregate estimate."""
+        return self.process.terminated
+
+    @property
+    def max_ticks(self) -> int:
+        """The simulator's round horizon for this configuration — a live
+        node still un-converged past this many ticks will never be."""
+        rpp = self.process.params.resolve_rounds(self.config.group_size)
+        return 2 * rpp * self.process.num_phases + 50
+
+    # -- outbound ------------------------------------------------------
+
+    def _transmit(self, data: bytes, address: Address) -> None:
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += len(data)
+        self.transport_send(data, address)
+
+    def _send_gossip(self, dest: int, payload: Any) -> None:
+        address = self.book.address_of(dest)
+        if address is None:
+            # Complete books make this unreachable; before completeness
+            # the process has not started, so nothing gossips.  Treat a
+            # race (dest rebooted, book refresh in flight) as wire loss.
+            return
+        self._transmit(
+            encode(
+                Gossip(
+                    src=self.config.node_id,
+                    sent_round=self.tick_count,
+                    payload=payload,
+                )
+            ),
+            address,
+        )
+
+    def _send_joins(self) -> None:
+        own = self.book.address_of(self.config.node_id)
+        if own is None:
+            raise RuntimeError(
+                "register_self() must run before the first tick"
+            )
+        join = encode(
+            Join(node_id=self.config.node_id, host=own[0], port=own[1])
+        )
+        for seed in self.seeds:
+            self.stats.joins_sent += 1
+            self._transmit(join, seed)
+
+    def _send_probe(self) -> None:
+        target = self.liveness.next_probe_target()
+        if target is None or target == self.config.node_id:
+            return
+        address = self.book.address_of(target)
+        if address is not None:
+            self._transmit(encode(Ping(src=self.config.node_id)), address)
+
+    # -- inbound -------------------------------------------------------
+
+    def datagram_received(self, data: bytes, address: Address) -> None:
+        """Decode and route one inbound datagram; never raises on
+        hostile input (malformed frames are counted and dropped)."""
+        self.stats.datagrams_received += 1
+        try:
+            message = decode(data)
+        except CodecError:
+            self.stats.frames_rejected += 1
+            return
+        if isinstance(message, Join):
+            if 0 <= message.node_id < self.config.group_size:
+                self.book.record(
+                    message.node_id, (message.host, message.port)
+                )
+                self.liveness.record_heard(message.node_id, self.tick_count)
+                # Answer with the current book — possibly partial; the
+                # joiner keeps re-joining until its copy is complete.
+                self._transmit(
+                    encode(Welcome(book=self.book.as_dict())), address
+                )
+        elif isinstance(message, Welcome):
+            self.book.merge(message.book)
+        elif isinstance(message, Ping):
+            self.liveness.record_heard(message.src, self.tick_count)
+            peer = self.book.address_of(message.src)
+            if peer is not None:
+                self._transmit(
+                    encode(Pong(src=self.config.node_id)), peer
+                )
+        elif isinstance(message, Pong):
+            self.liveness.record_heard(message.src, self.tick_count)
+        elif isinstance(message, Gossip):
+            self.liveness.record_heard(message.src, self.tick_count)
+            if not self.started:
+                self.stats.gossip_dropped_unstarted += 1
+                return
+            if not self.process.alive:
+                return
+            self.process.on_message(
+                self.ctx,
+                Message(
+                    src=message.src,
+                    dest=self.config.node_id,
+                    payload=message.payload,
+                    sent_round=message.sent_round,
+                ),
+            )
+
+    # -- the round clock -----------------------------------------------
+
+    def tick(self) -> bool:
+        """One round tick; returns True once the process has terminated.
+
+        Before the book completes this is a bootstrap retry; the tick
+        the book completes, the process starts and takes its round 0
+        (``on_start`` then ``on_round``, the engine's ordering).
+        """
+        if not self.started:
+            if not self.book.complete:
+                self._send_joins()
+                return False
+            self.started = True
+            self.process.on_start(self.ctx)
+        self._send_probe()
+        if not self.process.terminated and self.process.alive:
+            self.process.on_round(self.ctx)
+        self.tick_count += 1
+        return self.process.terminated

@@ -103,6 +103,9 @@ def run_result_record(result: Any) -> dict:
         "rounds": result.rounds,
         "messages_sent": result.messages_sent,
         "messages_dropped": result.messages_dropped,
+        # getattr: older RunResult-shaped objects (and the net runtime's
+        # report view) may predate the rejection counter.
+        "messages_rejected": getattr(result, "messages_rejected", 0),
         "bytes_sent": result.bytes_sent,
         "crashes": result.crashes,
         "recoveries": result.recoveries,
@@ -160,6 +163,7 @@ def iter_trace_records(telemetry: RunTelemetry) -> Iterator[dict]:
                 "messages_sent": sample.messages_sent,
                 "bytes_sent": sample.bytes_sent,
                 "messages_dropped": sample.messages_dropped,
+                "messages_rejected": sample.messages_rejected,
                 "live_members": sample.live_members,
                 "active_members": sample.active_members,
                 "max_sends_by_member": sample.max_sends_by_member,
@@ -257,6 +261,9 @@ def load_trace(source: str | IO[str]) -> TraceDocument:
                 live_members=record["live_members"],
                 active_members=record["active_members"],
                 max_sends_by_member=record["max_sends_by_member"],
+                # .get: traces written before the rejection counter
+                # existed stay loadable.
+                messages_rejected=record.get("messages_rejected", 0),
             ))
         elif kind == "result":
             document.result = record

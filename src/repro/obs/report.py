@@ -73,10 +73,16 @@ def render_phase_report(telemetry: RunTelemetry) -> str:
     result = telemetry.result_record
     if result is not None:
         completeness = result.get("completeness")
+        # Bandwidth-cap rejections are only mentioned when they happened,
+        # keeping the common uncapped report line byte-stable.
+        rejected = result.get("messages_rejected", 0)
+        loss_note = f"{result.get('messages_dropped', 0)} dropped"
+        if rejected:
+            loss_note += f", {rejected} rejected by the bandwidth cap"
         lines.append(
             f"mean completeness {completeness:.6f}, "
             f"{result.get('messages_sent', 0)} messages "
-            f"({result.get('messages_dropped', 0)} dropped), "
+            f"({loss_note}), "
             f"{result.get('crashes', 0)} crash(es) in "
             f"{result.get('rounds', 0)} rounds"
             if isinstance(completeness, float)

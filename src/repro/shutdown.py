@@ -1,0 +1,88 @@
+"""Signal-aware graceful shutdown shared by every CLI verb.
+
+The process-pool cleanup in :mod:`repro.experiments.parallel` was
+registered with :mod:`atexit` only — which CPython does **not** run
+when a signal's default handler kills the process, so a SIGTERM'd
+``repro run --jobs N`` leaked its worker pool.  This module closes
+that gap for every resource:
+
+* callbacks registered with :func:`on_shutdown` run on SIGTERM (and on
+  normal interpreter exit, via atexit, whichever comes first — each
+  callback runs at most once);
+* :func:`install` converts SIGTERM into ``SystemExit(128 + signum)``
+  after running the callbacks, so ``finally`` blocks and context
+  managers up the stack still execute and the exit code is the
+  conventional 143.
+
+``repro serve`` does **not** route through this handler: asyncio wants
+``loop.add_signal_handler``, and serve's contract is a *clean* exit 0
+on SIGTERM (a live node being told to stop is success, not death) — it
+calls :func:`run_callbacks` itself on the way out.  Only SIGTERM is
+installed by default: SIGINT keeps Python's KeyboardInterrupt
+behaviour, which test harnesses and interactive use rely on.
+"""
+
+from __future__ import annotations
+
+import atexit
+import signal
+import threading
+from collections.abc import Callable
+
+__all__ = ["install", "on_shutdown", "run_callbacks"]
+
+_lock = threading.Lock()
+_callbacks: list[Callable[[], None]] = []
+_installed = False
+_ran = False
+
+
+def on_shutdown(callback: Callable[[], None]) -> None:
+    """Register a cleanup callback (LIFO order, runs at most once)."""
+    with _lock:
+        _callbacks.append(callback)
+
+
+def run_callbacks() -> None:
+    """Run all registered callbacks once, newest first.
+
+    Exceptions are swallowed: shutdown must reach every callback and
+    the exit path, and a cleanup failure has nowhere useful to go.
+    """
+    global _ran
+    with _lock:
+        if _ran:
+            return
+        _ran = True
+        callbacks = list(_callbacks)
+    for callback in reversed(callbacks):
+        try:
+            callback()
+        except Exception:
+            pass
+
+
+def _handler(signum: int, frame) -> None:
+    run_callbacks()
+    raise SystemExit(128 + signum)
+
+
+def install(signals: tuple[int, ...] = (signal.SIGTERM,)) -> None:
+    """Install the shutdown handler (idempotent; main thread only).
+
+    Also registers :func:`run_callbacks` with atexit so the normal
+    exit path and the signal path share one once-only cleanup pass.
+    """
+    global _installed
+    with _lock:
+        if _installed:
+            return
+        _installed = True
+    atexit.register(run_callbacks)
+    for signum in signals:
+        try:
+            signal.signal(signum, _handler)
+        except ValueError:
+            # Not the main thread (embedded use); atexit still covers
+            # the normal exit path.
+            pass

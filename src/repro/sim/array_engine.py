@@ -180,10 +180,19 @@ class ArraySteppedEngine(SimulationEngine):
         """
         if len(src_ids) == 0:
             return
+        rejected_before = self.network.stats.rejected_bandwidth
         planned = self.network.plan_delivery_block(
             src_ids, dest_ids, sizes, slots, self.round, self.rngs
         )
+        # Bandwidth-cap rejections are decided (and counted into the
+        # network stats) during planning on both branches below; mirror
+        # the delta into the engine stats so object/array runs report
+        # identical ``sends_rejected`` (the object path counts in
+        # ``_submit``).
         if planned is not None:
+            self.stats.sends_rejected += (
+                self.network.stats.rejected_bandwidth - rejected_before
+            )
             delivered, delivery_round = planned
             if delivered.any():
                 if delivery_round > self.round + 1:
@@ -208,7 +217,10 @@ class ArraySteppedEngine(SimulationEngine):
                 size=size, sent_round=self.round,
             )
             outcome = network.plan_delivery(message, rngs)
-            if outcome is None or outcome is Network.REJECTED:
+            if outcome is Network.REJECTED:
+                self.stats.sends_rejected += 1
+                continue
+            if outcome is None:
                 continue
             bucket = per_round.get(outcome)
             if bucket is None:

@@ -29,6 +29,9 @@ class RoundSample:
     live_members: int
     active_members: int
     max_sends_by_member: int
+    #: Sends refused by the per-round bandwidth cap this round (they
+    #: never reach the wire, so they are *not* part of messages_sent).
+    messages_rejected: int = 0
 
 
 @dataclass
@@ -39,6 +42,7 @@ class RoundMetrics:
     _last_sent: int = 0
     _last_bytes: int = 0
     _last_dropped: int = 0
+    _last_rejected: int = 0
     _last_per_sender: dict[int, int] = field(default_factory=dict)
 
     def reset(self) -> None:
@@ -47,6 +51,7 @@ class RoundMetrics:
         self._last_sent = 0
         self._last_bytes = 0
         self._last_dropped = 0
+        self._last_rejected = 0
         self._last_per_sender = {}
 
     def snapshot(self, engine) -> None:
@@ -67,10 +72,14 @@ class RoundMetrics:
             live_members=engine.live_count,
             active_members=engine.active_count,
             max_sends_by_member=max(deltas.values(), default=0),
+            messages_rejected=(
+                stats.rejected_bandwidth - self._last_rejected
+            ),
         ))
         self._last_sent = stats.sent
         self._last_bytes = stats.bytes_sent
         self._last_dropped = stats.dropped
+        self._last_rejected = stats.rejected_bandwidth
         self._last_per_sender = dict(per_sender)
 
     # -- queries ----------------------------------------------------------

@@ -2,7 +2,7 @@
 
 Pins the exit-code contract (0 clean / 1 violations / 2 usage error),
 the JSON output over the committed fixture corpus, the whole-program
-rules (REP007-REP009 and interprocedural REP002) with their must-fire
+rules (REP007-REP010 and interprocedural REP002) with their must-fire
 counts, the cache/incremental/baseline machinery, and the repo's own
 acceptance gate: ``repro lint src/`` must be clean.
 """
@@ -30,6 +30,7 @@ CORPUS_COUNTS = {
     "REP007": 2,
     "REP008": 1,
     "REP009": 2,
+    "REP010": 1,
 }
 
 
@@ -120,7 +121,7 @@ class TestProjectRules:
     """The whole-program rules over the corpus mini-project."""
 
     def test_each_project_rule_fires_its_pinned_count(self, capsys):
-        for code in ("REP007", "REP008", "REP009"):
+        for code in ("REP007", "REP008", "REP009", "REP010"):
             assert _lint(["--select", code, str(CORPUS)]) == 1
             out = capsys.readouterr().out
             assert out.count(code) == CORPUS_COUNTS[code], code
@@ -231,7 +232,7 @@ class TestBaseline:
         capsys.readouterr()
         assert _lint(["--baseline", str(baseline), str(CORPUS)]) == 0
         out = capsys.readouterr().out
-        assert "baseline: 30 known violation(s) filtered" in out
+        assert "baseline: 31 known violation(s) filtered" in out
 
     def test_new_violations_break_through_the_baseline(
         self, tmp_path, capsys

@@ -1,0 +1,108 @@
+"""The ``repro serve`` verb over real localhost UDP sockets.
+
+Skipped wholesale when the environment cannot bind a UDP socket
+(sandboxed CI runners); the loopback golden suite covers the protocol
+logic either way — these tests pin the asyncio endpoint wiring, the
+CLI surface, and the signal contract (SIGTERM = clean exit 0).
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _udp_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _udp_available(), reason="cannot bind localhost UDP sockets"
+)
+
+
+def _free_port_base(span: int = 16) -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    base = probe.getsockname()[1]
+    probe.close()
+    # The span above the probed port is very likely free too; serve
+    # retries are out of scope, collisions just fail loudly.
+    return base if base + span < 65535 else base - span
+
+
+class TestGroupMode:
+    def test_eight_nodes_converge_and_exit_zero(self, capsys):
+        code = main([
+            "serve", "--members", "8", "--port", str(_free_port_base()),
+            "--tick", "0.01", "--deadline", "30",
+            "--rounds-factor-c", "2.0", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        record = json.loads(out)
+        assert record["schema"] == "repro-run/1"
+        assert record["n"] == 8
+        assert record["completeness"] == 1.0
+
+    def test_deadline_exceeded_exits_one(self, capsys):
+        code = main([
+            "serve", "--members", "8", "--port", str(_free_port_base()),
+            "--tick", "0.2", "--deadline", "0.5",
+        ])
+        capsys.readouterr()
+        assert code == 1
+
+
+class TestSignals:
+    def test_sigterm_is_a_clean_exit(self):
+        child = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--members", "4", "--port", str(_free_port_base()),
+                "--tick", "0.2", "--deadline", "0",
+                "--rounds-factor-c", "50",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env={"PYTHONPATH": str(REPO / "src")},
+        )
+        try:
+            time.sleep(1.5)
+            child.send_signal(signal.SIGTERM)
+            returncode = child.wait(timeout=15)
+        finally:
+            if child.poll() is None:
+                child.kill()
+        assert returncode == 0
+        assert b"stopped by signal" in child.stderr.read()
+
+
+class TestUsageErrors:
+    def test_out_of_range_node_id(self, capsys):
+        assert main([
+            "serve", "--members", "4", "--node", "9",
+            "--port", str(_free_port_base()),
+        ]) == 2
+        capsys.readouterr()
+
+    def test_single_node_requires_seed(self, capsys):
+        assert main([
+            "serve", "--members", "4", "--node", "2",
+            "--port", str(_free_port_base()),
+        ]) == 2
+        capsys.readouterr()

@@ -1,0 +1,9 @@
+"""REP010 corpus: the measurement layer may consult the oracle.
+
+``obs`` is one of the oracle-consumer units, so the ``ctx.is_alive``
+call here is legal.  Expected: 0 REP010 violations.
+"""
+
+
+def survivors_snapshot(ctx, member_ids):
+    return [member for member in member_ids if ctx.is_alive(member)]

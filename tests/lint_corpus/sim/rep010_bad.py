@@ -1,0 +1,25 @@
+"""REP010 corpus: protocol code consulting the liveness oracle.
+
+``sim`` is not a measurement layer, so the ``ctx.is_alive`` call in
+``skip_dead_gossipee`` must be flagged.  The ``alive`` *attribute*
+reads and the oracle-free retry below are legal.  Expected: 1 REP010
+violation.
+"""
+
+
+class OracleLeakingGossiper:
+    def __init__(self, node_id, peers):
+        self.node_id = node_id
+        self.peers = peers
+        self.alive = True
+
+    def skip_dead_gossipee(self, ctx, target):
+        if not ctx.is_alive(target):
+            return None
+        return target
+
+    def retry_without_oracle(self, ctx, target, unanswered):
+        # The implementable version: infer from received messages.
+        if unanswered.get(target, 0) > 3:
+            return None
+        return target

@@ -1,0 +1,193 @@
+"""Wire codec round-trips and hostile-input fuzz (repro.net.codec).
+
+The decode contract is absolute: any byte string either round-trips to
+a valid wire message or raises CodecError — never any other exception,
+never a crash.  A live node feeds every received datagram through
+decode, so this property is what keeps a hostile or corrupted packet
+from killing a group member.
+"""
+
+import json
+
+import pytest
+
+from repro.core.aggregates import AggregateState
+from repro.core.gridbox import SubtreeId
+from repro.core.messages import GossipBatch, GossipValue
+from repro.net.codec import (
+    MAGIC,
+    WIRE_VERSION,
+    CodecError,
+    Gossip,
+    Join,
+    Ping,
+    Pong,
+    Welcome,
+    decode,
+    encode,
+)
+
+
+def _state(payload, members):
+    return AggregateState(payload=payload, members=frozenset(members))
+
+
+ROUND_TRIP_MESSAGES = [
+    Join(node_id=3, host="127.0.0.1", port=9301),
+    Welcome(book={0: ("127.0.0.1", 9300), 7: ("10.0.0.2", 1024)}),
+    Ping(src=5),
+    Pong(src=2),
+    Gossip(
+        src=1, sent_round=4,
+        payload=GossipValue(
+            phase=1, key=6, state=_state(42.5, {6}),
+        ),
+    ),
+    Gossip(
+        src=9, sent_round=17,
+        payload=GossipValue(
+            phase=3, key=SubtreeId(2, 5),
+            state=_state((10.0, 4.0), {1, 2, 3}),
+        ),
+    ),
+    Gossip(
+        src=0, sent_round=0,
+        payload=GossipBatch(
+            phase=2,
+            entries=(
+                (SubtreeId(1, 0), _state((3.5, 2.0), {0, 1})),
+                (SubtreeId(1, 1), _state(((1.0, 2.0), (3.0, 4.0)), {2})),
+            ),
+            reply=True,
+        ),
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ROUND_TRIP_MESSAGES)
+    def test_encode_decode_identity(self, message):
+        assert decode(encode(message)) == message
+
+    def test_subtree_keys_survive_as_subtree_ids(self):
+        message = ROUND_TRIP_MESSAGES[5]
+        decoded = decode(encode(message))
+        assert isinstance(decoded.payload.key, SubtreeId)
+        assert decoded.payload.key.prefix_length == 2
+        assert decoded.payload.key.prefix_value == 5
+
+    def test_nested_payload_tuples_are_retupled(self):
+        decoded = decode(encode(ROUND_TRIP_MESSAGES[6]))
+        inner = decoded.payload.entries[1][1].payload
+        assert inner == ((1.0, 2.0), (3.0, 4.0))
+        assert isinstance(inner, tuple)
+        assert isinstance(inner[0], tuple)
+
+    def test_floats_round_trip_exactly(self):
+        vote = 0.1 + 0.2  # a float with no short decimal form
+        message = Gossip(
+            src=0, sent_round=0,
+            payload=GossipValue(phase=1, key=0, state=_state(vote, {0})),
+        )
+        assert decode(encode(message)).payload.state.payload == vote
+
+    def test_encoding_is_deterministic(self):
+        for message in ROUND_TRIP_MESSAGES:
+            assert encode(message) == encode(message)
+
+    def test_frame_header(self):
+        data = encode(Ping(src=0))
+        assert data[:2] == MAGIC
+        assert data[2] == WIRE_VERSION
+
+
+class TestHostileInput:
+    def test_truncated_frames_reject(self):
+        whole = encode(ROUND_TRIP_MESSAGES[4])
+        for length in range(len(whole)):
+            with pytest.raises(CodecError):
+                decode(whole[:length])
+
+    def test_wrong_magic_rejects(self):
+        data = b"XX" + encode(Ping(src=0))[2:]
+        with pytest.raises(CodecError):
+            decode(data)
+
+    def test_wrong_version_byte_rejects(self):
+        data = bytearray(encode(Ping(src=0)))
+        data[2] = WIRE_VERSION + 1
+        with pytest.raises(CodecError):
+            decode(bytes(data))
+
+    def test_non_json_body_rejects(self):
+        with pytest.raises(CodecError):
+            decode(MAGIC + bytes([WIRE_VERSION]) + b"\xff\xfe not json")
+
+    @pytest.mark.parametrize("body", [
+        "[]",                                    # not an object
+        "{}",                                    # no type tag
+        '{"t":"warp"}',                          # unknown type
+        '{"t":"ping"}',                          # missing src
+        '{"t":"ping","src":"zero"}',             # mistyped src
+        '{"t":"ping","src":true}',               # bool is not an int
+        '{"t":"join","id":1,"addr":"nope"}',     # malformed address
+        '{"t":"welcome","book":[1,2]}',          # book not an object
+        '{"t":"welcome","book":{"x":["h",1]}}',  # non-integer member id
+        '{"t":"gossip","src":1,"round":0,"payload":{"k":"odd"}}',
+        '{"t":"gossip","src":1,"round":0,"payload":{"k":"value",'
+        '"phase":1,"key":{"q":3},"state":{"p":1.0,"v":[1]}}}',
+        '{"t":"gossip","src":1,"round":0,"payload":{"k":"value",'
+        '"phase":1,"key":{"m":1},"state":{"p":1.0,"v":"all"}}}',
+        '{"t":"gossip","src":1,"round":0,"payload":{"k":"batch",'
+        '"phase":1,"entries":[[1]]}}',
+    ])
+    def test_structurally_invalid_records_reject(self, body):
+        data = MAGIC + bytes([WIRE_VERSION]) + body.encode()
+        with pytest.raises(CodecError):
+            decode(data)
+
+    def test_bitflip_fuzz_never_raises_anything_else(self):
+        """Every single-byte corruption either decodes or CodecErrors."""
+        frames = [encode(message) for message in ROUND_TRIP_MESSAGES]
+        for frame in frames:
+            for position in range(len(frame)):
+                for flip in (0x01, 0x80, 0xFF):
+                    corrupted = bytearray(frame)
+                    corrupted[position] ^= flip
+                    try:
+                        decode(bytes(corrupted))
+                    except CodecError:
+                        pass  # the only legal failure mode
+
+    def test_deep_garbage_json_rejects_not_crashes(self):
+        payloads = [
+            json.dumps({"t": "gossip", "src": 1, "round": 2,
+                        "payload": {"k": "batch", "phase": 1,
+                                    "entries": [[{"m": 1}, {"p": 0}]]}}),
+            json.dumps({"t": "join", "id": 2**80,
+                        "addr": ["h", 1]}),  # huge int is fine or rejected
+            json.dumps({"t": "welcome", "book": {"5": ["h", "p"]}}),
+        ]
+        for body in payloads:
+            data = MAGIC + bytes([WIRE_VERSION]) + body.encode()
+            try:
+                decode(data)
+            except CodecError:
+                pass
+
+
+class TestNodeDropsBadFrames:
+    def test_hostile_datagrams_are_counted_not_fatal(self):
+        from repro.net.node import NetNode, NodeConfig
+
+        node = NetNode(
+            NodeConfig(node_id=0, group_size=2),
+            transport_send=lambda data, addr: None,
+        )
+        node.datagram_received(b"", ("x", 1))
+        node.datagram_received(b"garbage", ("x", 1))
+        node.datagram_received(
+            MAGIC + bytes([WIRE_VERSION + 1]) + b"{}", ("x", 1)
+        )
+        assert node.stats.frames_rejected == 3
+        assert node.stats.datagrams_received == 3
