@@ -1,6 +1,6 @@
 # Convenience targets for the DSN 2001 reproduction.
 
-.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke serve-smoke figures examples clean
+.PHONY: install test lint lint-changed bench bench-quick bench-smoke bench-figures chaos-smoke chaos-adversarial-smoke trace-smoke serve-smoke metrics-smoke figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -64,6 +64,11 @@ serve-smoke:      ## 8 live localhost UDP nodes must converge, then exit clean
 		> /tmp/repro-serve-smoke.json
 	PYTHONPATH=src python -c "import json; r = json.load(open('/tmp/repro-serve-smoke.json')); assert r['completeness'] == 1.0, r"
 	@echo "serve smoke ok: 8 UDP nodes converged at completeness 1.0"
+
+metrics-smoke:    ## live group exposes both metric formats; repro top reads them
+	python tools/metrics_smoke.py
+	python benchmarks/perf/run_bench.py --registry-guard
+	@echo "metrics smoke ok: exposition + repro top + registry overhead guard"
 
 trace-smoke:      ## run one traced aggregation, validate the JSONL, check layering
 	PYTHONPATH=src python -m repro trace --n 64 --ucastl 0.4 --seed 1 \

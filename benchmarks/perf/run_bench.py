@@ -262,6 +262,76 @@ def bench_large(quick: bool) -> dict:
     }
 
 
+#: The registry guard's overhead budget: registry-enabled n8192 must
+#: finish within this factor of the back-to-back disabled run (plus a
+#: small absolute grace so sub-second timer noise cannot flake CI).
+REGISTRY_GUARD_FACTOR = 1.03
+REGISTRY_GUARD_GRACE_SECONDS = 0.5
+
+
+def registry_guard() -> int:
+    """Back-to-back n8192 with and without a metrics registry.
+
+    Two invariants, both ISSUE-pinned: the registry-enabled run is
+    bit-identical to the disabled one (the metrics-only telemetry
+    shape never touches simulation state), and it stays within 3% of
+    the disabled wall-clock (same process, same machine, so the
+    comparison is fair where a committed-baseline comparison across
+    CI hosts would not be).
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import RunTelemetry
+
+    configs = [with_params(n=8192, k=8, seed=0).with_seed(offset)
+               for offset in range(2)]
+    registry = MetricsRegistry()
+
+    def leg(telemetry_factory):
+        start = time.perf_counter()
+        results = [
+            run_once(config, telemetry=telemetry_factory())
+            for config in configs
+        ]
+        return time.perf_counter() - start, results
+
+    # Alternate the legs and keep each one's best of two: host noise
+    # (CI neighbours, thermal throttling) dwarfs a 3% budget on a
+    # single back-to-back pair.
+    plain_seconds, plain = leg(lambda: None)
+    metered_seconds, metered = leg(
+        lambda: RunTelemetry.metrics_only(registry)
+    )
+    plain_seconds = min(plain_seconds, leg(lambda: None)[0])
+    metered_seconds = min(
+        metered_seconds,
+        leg(lambda: RunTelemetry.metrics_only(registry))[0],
+    )
+
+    plain_sum, metered_sum = _checksum(plain), _checksum(metered)
+    print(f"[bench] registry guard: disabled {plain_seconds:.3f}s, "
+          f"enabled {metered_seconds:.3f}s, checksums "
+          f"{plain_sum} / {metered_sum}", flush=True)
+    if plain_sum != metered_sum:
+        print("[bench] REGISTRY GUARD FAILED: registry-enabled results "
+              f"diverged ({metered_sum} != {plain_sum})", flush=True)
+        return 1
+    budget = (plain_seconds * REGISTRY_GUARD_FACTOR
+              + REGISTRY_GUARD_GRACE_SECONDS)
+    if metered_seconds > budget:
+        print(f"[bench] REGISTRY GUARD FAILED: {metered_seconds:.3f}s "
+              f"exceeds the {budget:.3f}s budget "
+              f"({REGISTRY_GUARD_FACTOR:.0%} of the disabled run "
+              f"+ {REGISTRY_GUARD_GRACE_SECONDS}s grace)", flush=True)
+        return 1
+    if not registry.families():
+        print("[bench] REGISTRY GUARD FAILED: registry stayed empty — "
+              "the runs never fed it", flush=True)
+        return 1
+    print("[bench] registry guard ok: bit-identical, within budget, "
+          f"{len(registry.families())} metric families fed", flush=True)
+    return 0
+
+
 #: Rounds executed by the n65536 workload.  The run is deliberately
 #: round-capped rather than run to convergence: completed aggregates
 #: carry member masks whose cardinality approaches N, so a *converged*
@@ -396,7 +466,15 @@ def main(argv=None) -> int:
              "10^6-member world on the array engine and steps a few "
              "rounds; records peak RSS)",
     )
+    parser.add_argument(
+        "--registry-guard", action="store_true",
+        help="only run the metrics-registry overhead guard (n8192 with "
+             "vs without a registry: bit-identical and within 3%) and "
+             "exit — no BENCH_core.json update",
+    )
     args = parser.parse_args(argv)
+    if args.registry_guard:
+        return registry_guard()
     # The harness default is one worker per core ("auto"), not the library
     # default of serial — a benchmark run wants the machine saturated.
     jobs = resolve_jobs(args.jobs if args.jobs is not None else "auto")

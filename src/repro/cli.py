@@ -304,6 +304,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the final repro-run/1 record (group mode)",
     )
+    serve_parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help=(
+            "expose each node's metrics over HTTP (Prometheus text at "
+            "/metrics, repro-metrics/1 JSON at /metrics.json); group "
+            "mode uses PORT .. PORT+N-1"
+        ),
+    )
+    serve_parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help=(
+            "keep serving (and exposing metrics) this long after "
+            "convergence; SIGTERM ends the linger early and still "
+            "exits 0"
+        ),
+    )
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live terminal view over node metrics endpoints",
+        description=(
+            "Poll one or many repro serve --metrics-port endpoints "
+            "and render a per-node table (round, state, datagram "
+            "rates, rejections, suspicion).  --once --json emits a "
+            "single repro-top/1 snapshot for scripting."
+        ),
+    )
+    from repro.net.top import add_top_arguments
+
+    add_top_arguments(top_parser)
     return parser
 
 
@@ -561,6 +591,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.net.serve import run_serve
 
         return run_serve(args)
+    if args.command == "top":
+        from repro.net.top import run_top
+
+        return run_top(args)
     return _run_figure(args.command, args)
 
 

@@ -339,7 +339,9 @@ def _campaign_horizon(config: RunConfig, max_rounds: int) -> int:
 
 
 def run_once(
-    config: RunConfig, telemetry: RunTelemetry | None = None,
+    config: RunConfig,
+    telemetry: RunTelemetry | None = None,
+    registry=None,
 ) -> RunResult:
     """Build the configured world, run it to completion, measure it.
 
@@ -352,9 +354,20 @@ def run_once(
     inside ``ParallelRunner`` workers, with the summary pickled back on
     ``RunResult.telemetry``.  Either way the aggregation results are
     byte-identical to an untelemetered run (golden-tested).
+
+    ``registry`` feeds a :class:`~repro.obs.metrics.MetricsRegistry`
+    live (phase events) and at the end of the run (totals) without
+    touching the per-message hooks: passed alone it wraps the run in
+    :meth:`RunTelemetry.metrics_only`, so engine auto-selection and the
+    returned result are untouched — the registry is pure observation.
     """
     from repro import sanitize
 
+    if registry is not None:
+        if telemetry is None:
+            telemetry = RunTelemetry.metrics_only(registry)
+        else:
+            telemetry.registry = registry
     if telemetry is None and config.collect_telemetry:
         telemetry = RunTelemetry.compact()
     # The mask-union memo is identity-keyed, so a previous run's entries
@@ -403,7 +416,7 @@ def _run_built(
     with telemetry.profile("build") if telemetry is not None else nullcontext():
         processes, max_rounds = _build_processes(
             config, votes, rngs,
-            phase_sink=(telemetry.phase_trace if telemetry is not None
+            phase_sink=(telemetry.phase_sink() if telemetry is not None
                         else None),
         )
         compiled = None
@@ -472,7 +485,8 @@ def _run_built(
             rounds=engine.stats.rounds_executed,
             assignment=getattr(processes[0], "assignment", None),
         )
-        summary = telemetry.summary()
+        if telemetry.attach_summary:
+            summary = telemetry.summary()
     result = RunResult(
         config=config,
         report=report,

@@ -79,14 +79,17 @@ LAYERS: dict[str, frozenset[str]] = {
     "viz": frozenset({"core"}),
     "baselines": frozenset({"core", "sanitize", "sim"}),
     "chaos": frozenset({"core", "sim", "topology"}),
+    # process-exit callbacks: stdlib-only, imports nothing internal
+    "shutdown": frozenset(),
     # obs is a pure consumer of the layers below the experiment stack
+    # (its metrics registry is what net's exposition endpoint serves)
     "obs": frozenset({"core", "sanitize", "sim"}),
     "monitoring": frozenset({"core", "obs", "sanitize", "sim"}),
     # the live UDP runtime: hosts core protocols, reports through obs
-    "net": frozenset({"core", "obs", "sanitize", "sim"}),
+    "net": frozenset({"core", "obs", "sanitize", "shutdown", "sim"}),
     "experiments": frozenset({
         "analysis", "baselines", "chaos", "core", "mib", "monitoring",
-        "obs", "sanitize", "sim", "topology",
+        "obs", "sanitize", "shutdown", "sim", "topology",
     }),
     # the linter itself never imports the runtime it checks
     "lint": frozenset(),
@@ -241,8 +244,8 @@ class EngineParityRule(ProjectRule, _EnginePathMixin):
 
     code = "REP009"
     summary = (
-        "observable site (PhaseEvent / plan_delivery* / sanitizer hook) "
-        "present on one engine path but not the other"
+        "observable site (PhaseEvent / plan_delivery* / sanitizer hook "
+        "/ metric site) present on one engine path but not the other"
     )
 
     def check(self, index: ProjectIndex) -> Iterator[Violation]:
@@ -297,6 +300,12 @@ class EngineParityRule(ProjectRule, _EnginePathMixin):
                 if hook["name"] in _HOOK_CLASSES:
                     add(f"sanitizer hook '{hook['name']}'",
                         module, hook["line"])
+            # .get: summaries cached before the metric-site class
+            # existed lack the key (the cache schema bump evicts them,
+            # but stay tolerant of hand-fed summaries in tests).
+            for call in info.get("metric_calls", ()):
+                add(f"metric site '{call['name']}'",
+                    module, call["line"])
         return found
 
 

@@ -80,6 +80,10 @@ _SANITIZE_HOOKS = frozenset({
 #: ``Network`` delivery-planning entry points (REP009 pairing).
 _PLAN_CALLS = frozenset({"plan_delivery", "plan_delivery_block"})
 
+#: Registry feed points (repro.obs.metrics): an engine path that
+#: reaches one must be matched by the other engine path (REP009).
+_METRIC_SITES = frozenset({"observe_phase_event", "observe_round"})
+
 #: Containers whose subscript/iteration yields their element type.
 _SEQ_NAMES = frozenset({
     "list", "tuple", "set", "frozenset", "sequence", "iterable",
@@ -241,6 +245,7 @@ class _FunctionWalker:
         self.plan_calls: list[dict] = []
         self.sanitize_hooks: list[dict] = []
         self.oracle_calls: list[dict] = []
+        self.metric_calls: list[dict] = []
 
     # -- driving --------------------------------------------------------
     def walk_body(self, body: list[ast.stmt], depth: int) -> None:
@@ -448,6 +453,16 @@ class _FunctionWalker:
         # 4b. liveness-oracle consultations (REP010)
         if isinstance(func, ast.Attribute) and func.attr == "is_alive":
             self.oracle_calls.append({"line": node.lineno})
+        # 4c. metrics-registry feed points (REP009)
+        metric_name = None
+        if isinstance(func, ast.Attribute) and func.attr in _METRIC_SITES:
+            metric_name = func.attr
+        elif isinstance(func, ast.Name) and func.id in _METRIC_SITES:
+            metric_name = func.id
+        if metric_name is not None:
+            self.metric_calls.append(
+                {"name": metric_name, "line": node.lineno}
+            )
         # 5. the call-graph edge itself
         ref = self._call_ref(node)
         if ref is not None:
@@ -724,6 +739,7 @@ def _summarize_function(
         "plan_calls": walker.plan_calls,
         "sanitize_hooks": walker.sanitize_hooks,
         "oracle_calls": walker.oracle_calls,
+        "metric_calls": walker.metric_calls,
     }
 
 
@@ -1121,8 +1137,9 @@ class LintCache:
     """
 
     # /2: function summaries gained the ``oracle_calls`` key (REP010);
-    # /1 caches lack it, so they must not satisfy a /2 run.
-    SCHEMA = "repro-lint-cache/2"
+    # /3: they gained ``metric_calls`` (REP009 metric-site parity).
+    # Older caches lack the keys, so they must not satisfy this run.
+    SCHEMA = "repro-lint-cache/3"
 
     def __init__(self, path: Path | None):
         self.path = path

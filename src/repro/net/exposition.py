@@ -1,0 +1,136 @@
+"""A tiny asyncio HTTP listener exposing one node's metrics registry.
+
+Deliberately minimal — no routing framework, no keep-alive, no TLS:
+one ``asyncio.start_server`` accept loop that answers exactly three
+GET paths and closes the connection:
+
+* ``/metrics`` — Prometheus text exposition format 0.0.4;
+* ``/metrics.json`` — the canonical ``repro-metrics/1`` snapshot
+  (``json.dumps(..., sort_keys=True)``, what ``repro top`` consumes);
+* ``/healthz`` — ``ok`` while the listener is up.
+
+Anything else is 404; any method but GET is 405.  The registry is read
+at request time, so a scrape always sees the node's current counters.
+
+This module is wall-clock/event-loop territory and therefore lives in
+``repro.net`` — the REP002/REP007 lint rules keep it (and asyncio)
+out of the protocol and simulator layers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+#: Content types of the two snapshot flavours.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+_MAX_REQUEST_LINE = 4096
+
+
+def _response(
+    status: str, content_type: str, body: bytes
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class MetricsServer:
+    """One bound exposition endpoint over one registry."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int | None:
+        """The bound port (None before :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    def render(self, path: str) -> bytes:
+        """The full HTTP response for a GET of ``path``."""
+        if path in ("/metrics", "/metrics/"):
+            body = self.registry.render_prometheus().encode("utf-8")
+            return _response("200 OK", PROMETHEUS_CONTENT_TYPE, body)
+        if path in ("/metrics.json", "/metrics.json/"):
+            body = self.registry.snapshot_json().encode("utf-8")
+            return _response("200 OK", JSON_CONTENT_TYPE, body)
+        if path in ("/healthz", "/healthz/"):
+            return _response(
+                "200 OK", "text/plain; charset=utf-8", b"ok\n"
+            )
+        return _response(
+            "404 Not Found", "text/plain; charset=utf-8",
+            b"not found\n",
+        )
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if len(line) > _MAX_REQUEST_LINE or not line.strip():
+                return
+            parts = line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            # Drain (and ignore) the request headers.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                writer.write(_response(
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    b"method not allowed\n",
+                ))
+            else:
+                writer.write(self.render(path))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def start(
+        self, port: int, host: str = "127.0.0.1"
+    ) -> "MetricsServer":
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+async def start_metrics_server(
+    registry: MetricsRegistry, port: int, host: str = "127.0.0.1"
+) -> MetricsServer:
+    """Bind and start one exposition endpoint; caller owns ``close()``."""
+    server = MetricsServer(registry)
+    await server.start(port, host=host)
+    return server

@@ -38,11 +38,50 @@ class LivenessView:
         #: peer id -> tick we last heard any datagram from it.
         self._last_heard: dict[int, int] = {}
         self._probe_cursor = 0
+        # -- ping/pong RTT accounting (ticks, never wall-clock) --------
+        self.pings_sent = 0
+        self.pongs_received = 0
+        self.rtt_count = 0
+        self.rtt_total = 0
+        self.last_rtt: int | None = None
+        #: peer id -> tick of the most recent un-answered ping to it.
+        self._ping_sent_at: dict[int, int] = {}
 
     def record_heard(self, peer: int, tick: int) -> None:
         """Any datagram from ``peer`` counts as a sign of life."""
         if peer != self.node_id and 0 <= peer < self.group_size:
             self._last_heard[peer] = tick
+
+    def record_ping_sent(self, peer: int, tick: int) -> None:
+        """A probe went out to ``peer`` at ``tick`` (RTT start mark)."""
+        if peer != self.node_id and 0 <= peer < self.group_size:
+            self.pings_sent += 1
+            self._ping_sent_at[peer] = tick
+
+    def record_pong(self, peer: int, tick: int) -> int | None:
+        """A pong came back from ``peer``; returns the RTT in ticks.
+
+        Also counts as a sign of life.  ``None`` when no ping to the
+        peer is outstanding (a stray or duplicated pong).
+        """
+        self.record_heard(peer, tick)
+        if not (peer != self.node_id and 0 <= peer < self.group_size):
+            return None
+        self.pongs_received += 1
+        sent = self._ping_sent_at.pop(peer, None)
+        if sent is None:
+            return None
+        rtt = tick - sent
+        self.rtt_count += 1
+        self.rtt_total += rtt
+        self.last_rtt = rtt
+        return rtt
+
+    def mean_rtt(self) -> float | None:
+        """Mean observed ping→pong round trip in ticks (None if none)."""
+        if self.rtt_count == 0:
+            return None
+        return self.rtt_total / self.rtt_count
 
     def next_probe_target(self) -> int | None:
         """The peer to ping this tick (round-robin, skipping self)."""

@@ -28,7 +28,13 @@ from dataclasses import dataclass, field
 from repro.core.aggregates import get_aggregate
 from repro.core.protocol import CompletenessReport, measure_completeness
 from repro.net.bootstrap import Address
-from repro.net.node import NetNode, NodeConfig, make_votes
+from repro.net.node import (
+    NetNode,
+    NodeConfig,
+    make_votes,
+    net_stats_record,
+)
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["NetRunConfigView", "NetRunReport", "run_loopback_group"]
 
@@ -66,6 +72,8 @@ class NetRunReport:
     #: Final global-aggregate estimate per member id.
     estimates: dict[int, float] = field(default_factory=dict)
     converged: bool = True
+    #: Liveness/codec accounting (repro.net.node.net_stats_record).
+    net: dict | None = None
 
     @property
     def completeness(self) -> float:
@@ -110,6 +118,7 @@ def run_loopback_group(
     vote_high: float = 100.0,
     bootstrap: bool = False,
     max_ticks: int | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> NetRunReport:
     """Run one whole group to convergence over the in-memory router."""
     router = LoopbackRouter()
@@ -133,6 +142,7 @@ def run_loopback_group(
             router.sender_for(address),
             seeds=(loopback_address(0),) if (bootstrap and node_id != 0)
             else (),
+            registry=registry,
         )
         node.register_self(address)
         if not bootstrap:
@@ -202,6 +212,8 @@ def run_loopback_group(
         float("nan"),
         mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
+        messages_rejected=sum(n.stats.sends_rejected for n in nodes),
         estimates=estimates,
         converged=converged,
+        net=net_stats_record(nodes),
     )

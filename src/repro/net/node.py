@@ -53,10 +53,28 @@ from repro.net.codec import (
     encode,
 )
 from repro.net.liveness import LivenessView
+from repro.obs.metrics import (
+    MetricsPhaseSink,
+    MetricsRegistry,
+    TeePhaseSink,
+)
 from repro.sim.network import Message
 from repro.sim.rng import RngRegistry
 
-__all__ = ["NetContext", "NetNode", "NodeConfig", "NodeStats", "make_votes"]
+__all__ = [
+    "NetContext",
+    "NetNode",
+    "NodeConfig",
+    "NodeStats",
+    "make_votes",
+    "net_stats_record",
+]
+
+#: Wire frame kinds, the ``type`` label of the tx/rx counters.
+_FRAME_KINDS = ("gossip", "join", "welcome", "ping", "pong")
+
+#: Ping→pong round trips in ticks; loopback is 2 (one tick each way).
+_RTT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 @dataclass(frozen=True)
@@ -98,6 +116,106 @@ class NodeStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     joins_sent: int = 0
+    #: Gossip sends dropped because the destination had no address
+    #: (the net analogue of the engine's send-rejection counter).
+    sends_rejected: int = 0
+
+
+class _NodeMetrics:
+    """Pre-resolved registry children for one node's hot paths.
+
+    Child handles are looked up once at construction so the per-datagram
+    cost with a registry attached is a dict lookup plus an ``inc`` —
+    and exactly zero when no registry is installed (the node holds
+    ``None`` instead of this object).
+    """
+
+    def __init__(self, registry: MetricsRegistry, node_id: int):
+        self.registry = registry
+        node = str(node_id)
+        tx = registry.counter(
+            "repro_net_tx_total",
+            "Datagrams transmitted by frame type",
+            ("node", "type"),
+        )
+        tx_bytes = registry.counter(
+            "repro_net_tx_bytes_total",
+            "Bytes transmitted by frame type",
+            ("node", "type"),
+        )
+        rx = registry.counter(
+            "repro_net_rx_total",
+            "Datagrams received by frame type",
+            ("node", "type"),
+        )
+        self._tx = {k: tx.labels(node, k) for k in _FRAME_KINDS}
+        self._tx_bytes = {
+            k: tx_bytes.labels(node, k) for k in _FRAME_KINDS
+        }
+        self._rx = {k: rx.labels(node, k) for k in _FRAME_KINDS}
+        self.rx_rejected = registry.counter(
+            "repro_net_rx_rejected_total",
+            "Inbound frames rejected by the codec",
+            ("node",),
+        ).labels(node)
+        self.gossip_dropped = registry.counter(
+            "repro_net_gossip_dropped_unstarted_total",
+            "Gossip dropped before the process started",
+            ("node",),
+        ).labels(node)
+        self.sends_rejected = registry.counter(
+            "repro_net_sends_rejected_total",
+            "Gossip sends dropped for want of an address",
+            ("node",),
+        ).labels(node)
+        self.joins_sent = registry.counter(
+            "repro_net_joins_sent_total",
+            "Bootstrap joins sent",
+            ("node",),
+        ).labels(node)
+        self.pings_sent = registry.counter(
+            "repro_net_pings_sent_total",
+            "Liveness pings sent",
+            ("node",),
+        ).labels(node)
+        self.pongs_received = registry.counter(
+            "repro_net_pongs_received_total",
+            "Liveness pongs received",
+            ("node",),
+        ).labels(node)
+        self.ping_rtt = registry.histogram(
+            "repro_net_ping_rtt_ticks",
+            "Ping-to-pong round trip in ticks",
+            ("node",),
+            buckets=_RTT_BUCKETS,
+        ).labels(node)
+        self.round_gauge = registry.gauge(
+            "repro_net_round",
+            "This node's tick count (its protocol round clock)",
+            ("node",),
+        ).labels(node)
+        self.suspected = registry.gauge(
+            "repro_net_suspected_peers",
+            "Peers currently suspected by the liveness view",
+            ("node",),
+        ).labels(node)
+        self.started_gauge = registry.gauge(
+            "repro_net_started",
+            "1 once the protocol process has started",
+            ("node",),
+        ).labels(node)
+        self.terminated_gauge = registry.gauge(
+            "repro_net_terminated",
+            "1 once the process finalized its estimate",
+            ("node",),
+        ).labels(node)
+
+    def tx(self, kind: str, size: int) -> None:
+        self._tx[kind].inc()
+        self._tx_bytes[kind].inc(size)
+
+    def rx(self, kind: str) -> None:
+        self._rx[kind].inc()
 
 
 def make_votes(config: NodeConfig) -> dict[int, float]:
@@ -177,11 +295,22 @@ class NetNode:
         seeds: tuple[Address, ...] = (),
         phase_sink: PhaseSink | None = None,
         miss_threshold: int = 8,
+        registry: MetricsRegistry | None = None,
     ):
         self.config = config
         self.transport_send = transport_send
         self.seeds = tuple(seeds)
         self.stats = NodeStats()
+        self.metrics = (
+            _NodeMetrics(registry, config.node_id)
+            if registry is not None else None
+        )
+        if registry is not None:
+            # Phase events stream into the registry alongside whatever
+            # sink the caller installed (TeePhaseSink drops Nones).
+            phase_sink = TeePhaseSink(
+                phase_sink, MetricsPhaseSink(registry)
+            )
         self.book = AddressBook(config.group_size)
         self.liveness = LivenessView(
             config.node_id, config.group_size, miss_threshold=miss_threshold
@@ -227,9 +356,13 @@ class NetNode:
 
     # -- outbound ------------------------------------------------------
 
-    def _transmit(self, data: bytes, address: Address) -> None:
+    def _transmit(
+        self, data: bytes, address: Address, kind: str = "gossip"
+    ) -> None:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += len(data)
+        if self.metrics is not None:
+            self.metrics.tx(kind, len(data))
         self.transport_send(data, address)
 
     def _send_gossip(self, dest: int, payload: Any) -> None:
@@ -238,6 +371,9 @@ class NetNode:
             # Complete books make this unreachable; before completeness
             # the process has not started, so nothing gossips.  Treat a
             # race (dest rebooted, book refresh in flight) as wire loss.
+            self.stats.sends_rejected += 1
+            if self.metrics is not None:
+                self.metrics.sends_rejected.inc()
             return
         self._transmit(
             encode(
@@ -248,6 +384,7 @@ class NetNode:
                 )
             ),
             address,
+            "gossip",
         )
 
     def _send_joins(self) -> None:
@@ -261,7 +398,9 @@ class NetNode:
         )
         for seed in self.seeds:
             self.stats.joins_sent += 1
-            self._transmit(join, seed)
+            if self.metrics is not None:
+                self.metrics.joins_sent.inc()
+            self._transmit(join, seed, "join")
 
     def _send_probe(self) -> None:
         target = self.liveness.next_probe_target()
@@ -269,7 +408,12 @@ class NetNode:
             return
         address = self.book.address_of(target)
         if address is not None:
-            self._transmit(encode(Ping(src=self.config.node_id)), address)
+            self.liveness.record_ping_sent(target, self.tick_count)
+            if self.metrics is not None:
+                self.metrics.pings_sent.inc()
+            self._transmit(
+                encode(Ping(src=self.config.node_id)), address, "ping"
+            )
 
     # -- inbound -------------------------------------------------------
 
@@ -281,8 +425,12 @@ class NetNode:
             message = decode(data)
         except CodecError:
             self.stats.frames_rejected += 1
+            if self.metrics is not None:
+                self.metrics.rx_rejected.inc()
             return
         if isinstance(message, Join):
+            if self.metrics is not None:
+                self.metrics.rx("join")
             if 0 <= message.node_id < self.config.group_size:
                 self.book.record(
                     message.node_id, (message.host, message.port)
@@ -291,23 +439,38 @@ class NetNode:
                 # Answer with the current book — possibly partial; the
                 # joiner keeps re-joining until its copy is complete.
                 self._transmit(
-                    encode(Welcome(book=self.book.as_dict())), address
+                    encode(Welcome(book=self.book.as_dict())),
+                    address,
+                    "welcome",
                 )
         elif isinstance(message, Welcome):
+            if self.metrics is not None:
+                self.metrics.rx("welcome")
             self.book.merge(message.book)
         elif isinstance(message, Ping):
+            if self.metrics is not None:
+                self.metrics.rx("ping")
             self.liveness.record_heard(message.src, self.tick_count)
             peer = self.book.address_of(message.src)
             if peer is not None:
                 self._transmit(
-                    encode(Pong(src=self.config.node_id)), peer
+                    encode(Pong(src=self.config.node_id)), peer, "pong"
                 )
         elif isinstance(message, Pong):
-            self.liveness.record_heard(message.src, self.tick_count)
+            rtt = self.liveness.record_pong(message.src, self.tick_count)
+            if self.metrics is not None:
+                self.metrics.rx("pong")
+                self.metrics.pongs_received.inc()
+                if rtt is not None:
+                    self.metrics.ping_rtt.observe(rtt)
         elif isinstance(message, Gossip):
+            if self.metrics is not None:
+                self.metrics.rx("gossip")
             self.liveness.record_heard(message.src, self.tick_count)
             if not self.started:
                 self.stats.gossip_dropped_unstarted += 1
+                if self.metrics is not None:
+                    self.metrics.gossip_dropped.inc()
                 return
             if not self.process.alive:
                 return
@@ -340,4 +503,46 @@ class NetNode:
         if not self.process.terminated and self.process.alive:
             self.process.on_round(self.ctx)
         self.tick_count += 1
+        if self.metrics is not None:
+            self.metrics.round_gauge.set(self.tick_count)
+            self.metrics.suspected.set(
+                len(self.liveness.suspected(self.tick_count))
+            )
+            self.metrics.started_gauge.set(1 if self.started else 0)
+            self.metrics.terminated_gauge.set(
+                1 if self.process.terminated else 0
+            )
         return self.process.terminated
+
+
+def net_stats_record(nodes) -> dict:
+    """Group-level liveness/codec accounting, JSON-ready.
+
+    This is the ``net`` object of a ``repro-run/1`` record for the live
+    runtime (``repro serve --json`` and loopback reports); simulator
+    runs carry ``"net": null`` so both substrates emit the same keys.
+    """
+    nodes = list(nodes)
+    rtt_count = sum(n.liveness.rtt_count for n in nodes)
+    rtt_total = sum(n.liveness.rtt_total for n in nodes)
+    return {
+        "datagrams_received": sum(
+            n.stats.datagrams_received for n in nodes
+        ),
+        "frames_rejected": sum(n.stats.frames_rejected for n in nodes),
+        "joins_sent": sum(n.stats.joins_sent for n in nodes),
+        "gossip_dropped_unstarted": sum(
+            n.stats.gossip_dropped_unstarted for n in nodes
+        ),
+        "sends_rejected": sum(n.stats.sends_rejected for n in nodes),
+        "pings_sent": sum(n.liveness.pings_sent for n in nodes),
+        "pongs_received": sum(
+            n.liveness.pongs_received for n in nodes
+        ),
+        "mean_rtt_ticks": (
+            rtt_total / rtt_count if rtt_count else None
+        ),
+        "suspected_peers": sum(
+            len(n.liveness.suspected(n.tick_count)) for n in nodes
+        ),
+    }

@@ -30,8 +30,10 @@ import sys
 
 from repro import shutdown
 from repro.net.clock import RoundTicker
+from repro.net.exposition import MetricsServer, start_metrics_server
 from repro.net.loopback import NetRunConfigView, NetRunReport
-from repro.net.node import NetNode, NodeConfig
+from repro.net.node import NetNode, NodeConfig, net_stats_record
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["run_serve"]
 
@@ -67,20 +69,39 @@ def _node_config(args: argparse.Namespace, node_id: int) -> NodeConfig:
 
 async def _open_nodes(
     args: argparse.Namespace, loop: asyncio.AbstractEventLoop
-) -> tuple[list[NetNode], list[asyncio.DatagramTransport]]:
-    """Bind every hosted node to its UDP endpoint."""
+) -> tuple[
+    list[NetNode],
+    list[asyncio.DatagramTransport],
+    list[MetricsServer],
+]:
+    """Bind every hosted node to its UDP endpoint (and, under
+    ``--metrics-port``, its own registry + exposition listener)."""
     if args.node is not None:
         ids = [args.node]
     else:
         ids = list(range(args.members))
     nodes: list[NetNode] = []
     transports: list[asyncio.DatagramTransport] = []
+    metrics_servers: list[MetricsServer] = []
+    metrics_port = getattr(args, "metrics_port", None)
     seed_address = args.seed if args.seed is not None else (
         args.host, args.port
     )
     for node_id in ids:
         port = args.port if args.node is not None else args.port + node_id
         config = _node_config(args, node_id)
+        registry: MetricsRegistry | None = None
+        if metrics_port is not None:
+            registry = MetricsRegistry()
+            # Mirror the UDP port layout: one exposition endpoint per
+            # hosted node, metrics_port + node_id in group mode.
+            expose_on = (
+                metrics_port if args.node is not None
+                else metrics_port + node_id
+            )
+            metrics_servers.append(await start_metrics_server(
+                registry, expose_on, host=args.host
+            ))
         holder: list[NetNode] = []
         transport, __ = await loop.create_datagram_endpoint(
             lambda holder=holder: _NodeProtocol(holder),
@@ -91,13 +112,14 @@ async def _open_nodes(
             lambda data, address, t=transport: t.sendto(data, address),
             seeds=() if node_id == 0 and args.seed is None
             else (seed_address,),
+            registry=registry,
         )
         holder.append(node)
         bound = transport.get_extra_info("sockname")
         node.register_self((bound[0], bound[1]))
         nodes.append(node)
         transports.append(transport)
-    return nodes, transports
+    return nodes, transports, metrics_servers
 
 
 def _status_line(nodes: list[NetNode]) -> str:
@@ -155,14 +177,17 @@ def _final_report(args: argparse.Namespace, nodes: list[NetNode]) -> dict:
         float("nan"),
         mean_coverage=(sum(coverages) / len(coverages)) if coverages else
         float("nan"),
+        messages_rejected=sum(n.stats.sends_rejected for n in nodes),
+        net=net_stats_record(nodes),
     )
     return run_result_record(result)
 
 
 async def _serve(args: argparse.Namespace) -> int:
     loop = asyncio.get_running_loop()
-    nodes, transports = await _open_nodes(args, loop)
+    nodes, transports, metrics_servers = await _open_nodes(args, loop)
     stop_signal: list[int] = []
+    stop_event = asyncio.Event()
 
     def _tick_all() -> bool:
         for node in nodes:
@@ -180,7 +205,8 @@ async def _serve(args: argparse.Namespace) -> int:
         loop.add_signal_handler(
             signum,
             lambda signum=signum: (stop_signal.append(signum),
-                                   ticker.stop()),
+                                   ticker.stop(),
+                                   stop_event.set()),
         )
     try:
         await asyncio.wait_for(
@@ -188,11 +214,22 @@ async def _serve(args: argparse.Namespace) -> int:
             timeout=args.deadline if args.deadline > 0 else None,
         )
         timed_out = False
+        linger = getattr(args, "linger", 0.0) or 0.0
+        if linger > 0 and not stop_signal:
+            # Keep the metrics endpoints scrapeable after convergence
+            # (CI's metrics-smoke needs a window to curl them); a
+            # signal ends the linger early and still exits 0.
+            try:
+                await asyncio.wait_for(stop_event.wait(), timeout=linger)
+            except asyncio.TimeoutError:
+                pass
     except asyncio.TimeoutError:
         timed_out = True
     finally:
         for transport in transports:
             transport.close()
+        for server in metrics_servers:
+            await server.close()
         # Restore the host process's handlers before the loop closes —
         # remove_signal_handler would reset to SIG_DFL and clobber the
         # repro.shutdown handler (the CLI runs in-process under pytest).
@@ -201,11 +238,15 @@ async def _serve(args: argparse.Namespace) -> int:
             signal.signal(signum, handler)
     converged = all(node.terminated for node in nodes)
     if stop_signal:
-        # Operator-requested stop: success by contract.
+        # Operator-requested stop: success by contract.  The JSON
+        # record still goes out (a SIGTERM ending a --linger window is
+        # the normal way CI tears a metrics-smoke group down).
         print(
             f"stopped by signal {stop_signal[0]} — {_status_line(nodes)}",
             file=sys.stderr,
         )
+        if args.json and args.node is None:
+            print(json.dumps(_final_report(args, nodes), sort_keys=True))
         return 0
     if args.json and args.node is None:
         print(json.dumps(_final_report(args, nodes), sort_keys=True))
@@ -249,6 +290,10 @@ def run_serve(args: argparse.Namespace) -> int:
             "the seed itself)",
             file=sys.stderr,
         )
+        return 2
+    metrics_port = getattr(args, "metrics_port", None)
+    if metrics_port is not None and not 0 < metrics_port < 65536:
+        print("--metrics-port must be a valid port", file=sys.stderr)
         return 2
     try:
         return asyncio.run(_serve(args))

@@ -1,0 +1,279 @@
+"""``repro top`` — a live terminal view over node metrics endpoints.
+
+Polls one or many ``--metrics-port`` exposition endpoints (the
+``/metrics.json`` flavour, schema ``repro-metrics/1``) and renders a
+per-node table: round, started/converged state, datagrams in/out,
+messages per second (derived from successive polls), send rejections
+and suspected peers.  ``--once --json`` emits a single machine-readable
+``repro-top/1`` snapshot instead — what CI's metrics-smoke asserts on.
+
+This is an operator tool: it lives in ``repro.net`` because it talks
+wall-clock and sockets, and it only ever *reads* — a scrape can never
+perturb the protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+import urllib.request
+
+__all__ = [
+    "TOP_SCHEMA",
+    "add_top_arguments",
+    "fetch_snapshot",
+    "node_view",
+    "run_top",
+]
+
+TOP_SCHEMA = "repro-top/1"
+
+_COLUMNS = (
+    "endpoint", "node", "round", "state", "rx", "tx", "msgs/s",
+    "rejected", "suspect",
+)
+
+
+def add_top_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="metrics endpoints to poll (e.g. 127.0.0.1:9100)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="poll once and exit instead of refreshing",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a repro-top/1 JSON snapshot (implies --once layout)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=2.0,
+        help="per-endpoint HTTP timeout in seconds (default 2)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after this many refreshes (0 = until interrupted)",
+    )
+
+
+def parse_target(target: str) -> tuple[str, int]:
+    host, _, port = target.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"target {target!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def fetch_snapshot(
+    host: str, port: int, timeout: float = 2.0
+) -> dict | None:
+    """One endpoint's ``repro-metrics/1`` snapshot, or None if down."""
+    url = f"http://{host}:{port}/metrics.json"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (OSError, ValueError, socket.timeout):
+        return None
+    if payload.get("schema") != "repro-metrics/1":
+        return None
+    return payload
+
+
+def _family_samples(snapshot: dict, name: str) -> list[dict]:
+    family = snapshot.get("metrics", {}).get(name)
+    if not family:
+        return []
+    return family.get("samples", [])
+
+
+def _sum_values(snapshot: dict, name: str) -> float:
+    return sum(
+        sample.get("value") or 0
+        for sample in _family_samples(snapshot, name)
+    )
+
+
+def _first_value(snapshot: dict, name: str) -> float | None:
+    samples = _family_samples(snapshot, name)
+    if not samples:
+        return None
+    return samples[0].get("value")
+
+
+def _node_label(snapshot: dict) -> str | None:
+    """The ``node`` label value, from any family carrying one."""
+    for name in ("repro_net_round", "repro_net_tx_total"):
+        family = snapshot.get("metrics", {}).get(name)
+        if not family:
+            continue
+        labelnames = family.get("labels", [])
+        if "node" not in labelnames:
+            continue
+        position = labelnames.index("node")
+        for sample in family.get("samples", []):
+            values = sample.get("labels", [])
+            if len(values) > position:
+                return values[position]
+    return None
+
+
+def node_view(snapshot: dict | None) -> dict:
+    """The per-endpoint row of a ``repro-top/1`` record."""
+    if snapshot is None:
+        return {"up": False}
+    started = _first_value(snapshot, "repro_net_started")
+    terminated = _first_value(snapshot, "repro_net_terminated")
+    return {
+        "up": True,
+        "node": _node_label(snapshot),
+        "round": _first_value(snapshot, "repro_net_round"),
+        "started": bool(started),
+        "converged": bool(terminated),
+        "rx_total": _sum_values(snapshot, "repro_net_rx_total"),
+        "tx_total": _sum_values(snapshot, "repro_net_tx_total"),
+        "tx_bytes": _sum_values(snapshot, "repro_net_tx_bytes_total"),
+        "rx_rejected": _sum_values(
+            snapshot, "repro_net_rx_rejected_total"
+        ),
+        "sends_rejected": _sum_values(
+            snapshot, "repro_net_sends_rejected_total"
+        ),
+        "suspected_peers": _first_value(
+            snapshot, "repro_net_suspected_peers"
+        ),
+        "pings_sent": _sum_values(snapshot, "repro_net_pings_sent_total"),
+        "pongs_received": _sum_values(
+            snapshot, "repro_net_pongs_received_total"
+        ),
+        "phase_events": _sum_values(
+            snapshot, "repro_phase_events_total"
+        ),
+    }
+
+
+def top_record(
+    targets: list[tuple[str, int]],
+    views: list[dict],
+    rates: list[float | None],
+) -> dict:
+    """The full ``repro-top/1`` snapshot (JSON mode output)."""
+    rows = []
+    for (host, port), view, rate in zip(targets, views, rates):
+        row = {"endpoint": f"{host}:{port}", **view}
+        row["msgs_per_s"] = rate
+        rows.append(row)
+    return {
+        "schema": TOP_SCHEMA,
+        "nodes": rows,
+        "nodes_up": sum(1 for view in views if view.get("up")),
+        "nodes_converged": sum(
+            1 for view in views if view.get("converged")
+        ),
+    }
+
+
+def _format_row(values: tuple) -> str:
+    widths = (21, 5, 6, 10, 8, 8, 8, 8, 7)
+    return "  ".join(
+        str(value).ljust(width) if index < 2 else
+        str(value).rjust(width)
+        for index, (value, width) in enumerate(zip(values, widths))
+    )
+
+
+def _render_table(record: dict) -> str:
+    lines = [_format_row(_COLUMNS)]
+    for row in record["nodes"]:
+        if not row.get("up"):
+            lines.append(_format_row(
+                (row["endpoint"], "-", "-", "down", "-", "-", "-", "-",
+                 "-")
+            ))
+            continue
+        state = (
+            "converged" if row.get("converged")
+            else "running" if row.get("started") else "bootstrap"
+        )
+        rate = row.get("msgs_per_s")
+        lines.append(_format_row((
+            row["endpoint"],
+            row.get("node") if row.get("node") is not None else "-",
+            int(row["round"]) if row.get("round") is not None else "-",
+            state,
+            int(row.get("rx_total") or 0),
+            int(row.get("tx_total") or 0),
+            f"{rate:.1f}" if rate is not None else "-",
+            int((row.get("rx_rejected") or 0)
+                + (row.get("sends_rejected") or 0)),
+            int(row.get("suspected_peers") or 0),
+        )))
+    lines.append(
+        f"{record['nodes_up']}/{len(record['nodes'])} up, "
+        f"{record['nodes_converged']}/{len(record['nodes'])} converged"
+    )
+    return "\n".join(lines)
+
+
+def run_top(args: argparse.Namespace) -> int:
+    """Entry point for the ``repro top`` CLI verb."""
+    try:
+        targets = [parse_target(target) for target in args.targets]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    previous: list[tuple[float, float] | None] = [None] * len(targets)
+    iterations = 0
+    while True:
+        now = time.monotonic()
+        views = []
+        rates: list[float | None] = []
+        for index, (host, port) in enumerate(targets):
+            view = node_view(
+                fetch_snapshot(host, port, timeout=args.timeout)
+            )
+            views.append(view)
+            rate = None
+            if view.get("up"):
+                total = view["rx_total"] + view["tx_total"]
+                last = previous[index]
+                if last is not None and now > last[0]:
+                    rate = max(0.0, (total - last[1]) / (now - last[0]))
+                previous[index] = (now, total)
+            else:
+                previous[index] = None
+            rates.append(rate)
+        record = top_record(targets, views, rates)
+        if args.json:
+            print(json.dumps(record, sort_keys=True))
+        else:
+            if not args.once and iterations > 0:
+                # Redraw in place: home the cursor and clear down.
+                print("\x1b[H\x1b[J", end="")
+            print(_render_table(record))
+        iterations += 1
+        if args.once or args.json:
+            break
+        if args.count and iterations >= args.count:
+            break
+        try:
+            time.sleep(max(args.interval, 0.1))
+        except KeyboardInterrupt:
+            break
+    return 0 if record["nodes_up"] == len(targets) else 1

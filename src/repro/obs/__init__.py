@@ -18,6 +18,12 @@ Layers, bottom-up:
   export/load/validate and the shared ``repro-run/1`` result record;
 * :mod:`repro.obs.report` — the phase-by-phase report and the causal
   ``explain`` query;
+* :mod:`repro.obs.metrics` — the dependency-free live metrics registry
+  (Counter/Gauge/Histogram, canonical ``repro-metrics/1`` snapshots)
+  fed by both substrates and exposed over HTTP by
+  :mod:`repro.net.exposition`;
+* :mod:`repro.obs.budgets` — the per-phase round-budget report
+  (``repro trace --budgets``, schema ``repro-budgets/1``);
 * :mod:`repro.obs.profiling` — opt-in wall-clock section timing (the
   only place wall-clock is allowed near the simulator; REP002 keeps it
   out of ``sim``/``core``/``chaos``).
@@ -35,6 +41,8 @@ from repro.obs.export import (
     validate_trace_lines,
     write_trace,
 )
+from repro.obs.budgets import BudgetReport, budget_report
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
 from repro.obs.phase import PhaseTrace
 from repro.obs.profiling import SectionProfiler
 from repro.obs.report import explain, render_phase_report
@@ -47,6 +55,10 @@ from repro.obs.telemetry import (
 __all__ = [
     "TRACE_SCHEMA",
     "RUN_SCHEMA",
+    "METRICS_SCHEMA",
+    "BudgetReport",
+    "MetricsRegistry",
+    "budget_report",
     "PhaseTrace",
     "RunTelemetry",
     "TelemetrySummary",

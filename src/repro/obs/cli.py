@@ -74,6 +74,15 @@ def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
         "--json", default=None, metavar="FILE",
         help="also write the repro-run/1 result record ('-' = stdout)",
     )
+    parser.add_argument(
+        "--budgets", action="store_true",
+        help="print the per-phase round-budget report (rounds/"
+             "messages/bytes shares; works in run and --input modes)",
+    )
+    parser.add_argument(
+        "--budgets-json", default=None, metavar="FILE",
+        help="also write the repro-budgets/1 record ('-' = stdout)",
+    )
 
 
 def _validate(path: str) -> int:
@@ -87,8 +96,32 @@ def _validate(path: str) -> int:
     return 0
 
 
+def _budgets(document, args: argparse.Namespace) -> int:
+    """Render/emit the per-phase budget report for a loaded trace."""
+    from repro.obs.budgets import budget_report
+
+    try:
+        report = budget_report(document)
+    except ValueError as exc:
+        print(f"cannot budget: {exc}")
+        return 1
+    if args.budgets:
+        print(report.render())
+    if args.budgets_json:
+        text = report.to_json() + "\n"
+        if args.budgets_json == "-":
+            print(text, end="")
+        else:
+            with open(args.budgets_json, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.budgets_json}")
+    return 0
+
+
 def _query(args: argparse.Namespace) -> int:
     document = load_trace(args.input)
+    if args.budgets or args.budgets_json:
+        return _budgets(document, args)
     if args.explain is not None:
         print(explain(document, args.explain))
         return 0
@@ -149,11 +182,17 @@ def run_trace(args: argparse.Namespace, make_config, run_once) -> int:
             with open(args.json, "w") as handle:
                 handle.write(text)
             print(f"wrote {args.json}")
-    if args.explain is not None:
+    if args.explain is not None or args.budgets or args.budgets_json:
         buffer = io.StringIO()
         write_trace(telemetry, buffer)
         buffer.seek(0)
         document = load_trace(buffer)
-        print()
-        print(explain(document, args.explain))
+        if args.explain is not None:
+            print()
+            print(explain(document, args.explain))
+        if args.budgets or args.budgets_json:
+            print()
+            status = _budgets(document, args)
+            if status:
+                return status
     return 0

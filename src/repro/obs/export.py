@@ -106,6 +106,10 @@ def run_result_record(result: Any) -> dict:
         # getattr: older RunResult-shaped objects (and the net runtime's
         # report view) may predate the rejection counter.
         "messages_rejected": getattr(result, "messages_rejected", 0),
+        # Liveness/codec accounting of the live runtime (see
+        # repro.net.node.net_stats_record); None for simulator runs so
+        # both substrates emit the same key set.
+        "net": getattr(result, "net", None),
         "bytes_sent": result.bytes_sent,
         "crashes": result.crashes,
         "recoveries": result.recoveries,
@@ -147,14 +151,15 @@ def iter_trace_records(telemetry: RunTelemetry) -> Iterator[dict]:
             "missing": list(event.missing),
             "coverage": _json_safe(event.coverage),
         }
-    for event in telemetry.tracer.events:
-        yield {
-            "record": "engine",
-            "kind": event.kind,
-            "round": event.round,
-            "node": event.node,
-            "peer": event.peer,
-        }
+    if telemetry.tracer is not None:
+        for event in telemetry.tracer.events:
+            yield {
+                "record": "engine",
+                "kind": event.kind,
+                "round": event.round,
+                "node": event.node,
+                "peer": event.peer,
+            }
     if telemetry.metrics is not None:
         for sample in telemetry.metrics.samples:
             yield {

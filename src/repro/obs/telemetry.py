@@ -17,6 +17,18 @@ into a run.  Two shapes:
   back across the worker boundary, so sweeps and chaos campaigns can
   aggregate phase/bump-up/timeout statistics instead of dropping worker
   telemetry on the floor.
+* **Metrics-only** (``RunTelemetry.metrics_only(registry)``) — no
+  tracer, no round metrics and no phase sink, just a
+  :class:`~repro.obs.metrics.MetricsRegistry` fed from the end-of-run
+  record.  Every per-event hook stays detached (attaching a phase
+  sink makes the protocol compute event payloads — subtree labels,
+  missing sets — which costs far more than the bench guard's 3%
+  budget), so ``engine='auto'`` still picks the array-stepped engine
+  and the returned :class:`~repro.experiments.runner.RunResult` is
+  byte-identical to an uninstrumented run's (``attach_summary`` is
+  off, so even the ``telemetry`` field stays ``None``).  A *full*
+  telemetry with ``registry`` set streams phase events into the
+  registry live through the teed sink.
 
 Neither shape draws randomness or mutates simulation state, so results
 are byte-identical with telemetry attached or not (golden-tested).
@@ -30,6 +42,15 @@ import dataclasses
 from contextlib import AbstractContextManager, nullcontext
 from dataclasses import dataclass, field
 
+from repro.core.observe import PhaseSink
+from repro.obs.metrics import (
+    MetricsPhaseSink,
+    MetricsRegistry,
+    RegistryRoundMetrics,
+    TeePhaseSink,
+    feed_round_samples,
+    feed_run_record,
+)
 from repro.obs.phase import PhaseTrace
 from repro.obs.profiling import SectionProfiler
 from repro.sim.metrics import RoundMetrics
@@ -133,11 +154,22 @@ class RunTelemetry:
     identity so exports are self-contained.
     """
 
-    tracer: Tracer = field(default_factory=Tracer)
+    tracer: Tracer | None = field(default_factory=Tracer)
     metrics: RoundMetrics | None = field(default_factory=RoundMetrics)
     phase_trace: PhaseTrace = field(default_factory=PhaseTrace)
     #: Opt-in wall-clock section profiler (never part of exports).
     profiler: SectionProfiler | None = None
+    #: Opt-in live metrics registry: phase events stream in through a
+    #: teed :class:`MetricsPhaseSink`, run totals at :meth:`finish`.
+    registry: MetricsRegistry | None = None
+    #: Whether the runner should put :meth:`summary` on the returned
+    #: ``RunResult``; the metrics-only shape turns this off so a
+    #: registry-fed run's result stays byte-identical to a plain one.
+    attach_summary: bool = True
+    #: Whether the protocol processes get a phase sink at all; the
+    #: metrics-only shape turns this off — payload computation behind
+    #: an attached sink is the dominant instrumentation cost.
+    attach_phase_sink: bool = True
     # -- run identity, set by finish() ---------------------------------
     config_record: dict | None = None
     result_record: dict | None = None
@@ -162,6 +194,40 @@ class RunTelemetry:
             tracer=Tracer(max_events=0),
             metrics=None,
             phase_trace=PhaseTrace(store_events=False),
+        )
+
+    @classmethod
+    def metrics_only(cls, registry: MetricsRegistry) -> "RunTelemetry":
+        """Registry-fed shape with every per-event hook detached.
+
+        No tracer, no round metrics and no phase sink: ``engine='auto'``
+        still selects the array-stepped engine and the protocol never
+        computes event payloads, so this is cheap enough to leave on —
+        the bench guard pins the overhead within 3% at n=8192.  The
+        registry is fed once, from the final run record.
+        """
+        return cls(
+            tracer=None,
+            metrics=None,
+            phase_trace=PhaseTrace(store_events=False),
+            registry=registry,
+            attach_summary=False,
+            attach_phase_sink=False,
+        )
+
+    def phase_sink(self) -> PhaseSink | None:
+        """The sink the runner wires into the protocol processes.
+
+        ``None`` when detached (metrics-only shape); otherwise the
+        :class:`PhaseTrace` alone, or a tee that also streams every
+        event into the attached registry.
+        """
+        if not self.attach_phase_sink:
+            return None
+        if self.registry is None:
+            return self.phase_trace
+        return TeePhaseSink(
+            self.phase_trace, MetricsPhaseSink(self.registry)
         )
 
     def profile(self, section: str) -> AbstractContextManager[None]:
@@ -194,6 +260,18 @@ class RunTelemetry:
             }
         if result_record is not None:
             self.result_record = result_record
+            if self.registry is not None:
+                # Pure observation: the record is already final, so the
+                # feed can never change results (golden-tested).
+                feed_run_record(self.registry, result_record)
+                if self.metrics is not None and not isinstance(
+                    self.metrics, RegistryRoundMetrics
+                ):
+                    # A RegistryRoundMetrics already streamed its
+                    # samples live; replaying would double-count.
+                    feed_round_samples(
+                        self.registry, self.metrics.samples
+                    )
         if rounds is not None:
             self.rounds = rounds
         if assignment is not None:
@@ -208,7 +286,7 @@ class RunTelemetry:
     def summary(self) -> TelemetrySummary:
         """The compact picklable aggregate of this run."""
         phase = self.phase_trace
-        engine = self.tracer.counts
+        engine = self.tracer.counts if self.tracer is not None else {}
         return TelemetrySummary(
             runs=1,
             rounds=self.rounds,
@@ -231,6 +309,9 @@ class RunTelemetry:
             crashes=engine.get("crash", 0),
             recoveries=engine.get("recover", 0),
             terminates=engine.get("terminate", 0),
-            dropped_engine_events=self.tracer.dropped_events,
+            dropped_engine_events=(
+                self.tracer.dropped_events
+                if self.tracer is not None else 0
+            ),
             sanitizer_active=self.sanitizer_active,
         )

@@ -77,6 +77,18 @@ class TestRunRecordCompatibility:
         sim, net = _pair(16, 3)
         assert set(run_result_record(sim)) == set(run_result_record(net))
 
+    def test_net_key_carries_liveness_stats_only_for_live_runs(self):
+        sim, net = _pair(16, 3)
+        # Both substrates emit the same "net" key; the simulator has no
+        # datagram plane, so its value is None, while a live report
+        # carries the liveness/codec accounting repro top builds on.
+        assert run_result_record(sim)["net"] is None
+        stats = run_result_record(net)["net"]
+        assert stats["pings_sent"] > 0
+        assert stats["pongs_received"] > 0
+        assert stats["mean_rtt_ticks"] == 2.0  # loopback: 1 tick each way
+        assert stats["suspected_peers"] == 0
+
 
 class TestBootstrap:
     def test_join_handshake_converges_with_staggered_starts(self):

@@ -241,6 +241,58 @@ class TestTraceCli:
         assert "beyond the storage cap" in capsys.readouterr().out
 
 
+class TestBudgetsCli:
+    TRACE_ARGS = ["trace", "--n", "64", "--ucastl", "0.4", "--seed", "1"]
+
+    def test_run_mode_prints_the_budget_table(self, capsys):
+        assert main([*self.TRACE_ARGS, "--budgets"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase round budgets" in out
+        assert "#" in out  # the share bars
+
+    def test_query_mode_is_deterministic(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([*self.TRACE_ARGS, "--out", str(trace)]) == 0
+        capsys.readouterr()
+        emitted = []
+        for name in ("a.json", "b.json"):
+            target = tmp_path / name
+            assert main([
+                "trace", "--input", str(trace),
+                "--budgets-json", str(target),
+            ]) == 0
+            emitted.append(target.read_bytes())
+        assert emitted[0] == emitted[1]
+        record = json.loads(emitted[0])
+        assert record["schema"] == "repro-budgets/1"
+        # The budget tiles the round axis, so its totals must equal the
+        # embedded result record's.
+        result = load_trace(str(trace)).result
+        assert record["total_messages"] == result["messages_sent"]
+        assert record["total_bytes"] == result["bytes_sent"]
+        assert record["total_rounds"] == result["rounds"]
+
+    def test_budgets_json_to_stdout(self, capsys):
+        assert main([
+            *self.TRACE_ARGS, "--budgets-json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index('{"phases"'):]
+        assert json.loads(payload)["schema"] == "repro-budgets/1"
+
+    def test_compact_trace_cannot_be_budgeted(self, tmp_path, capsys):
+        trace = tmp_path / "compact.jsonl"
+        assert main([
+            "trace", "--n", "32", "--seed", "0", "--max-events", "0",
+            "--out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "trace", "--input", str(trace), "--budgets",
+        ]) == 1
+        assert "cannot budget" in capsys.readouterr().out
+
+
 class TestTraceDiffCli:
     def _write_trace(self, tmp_path, name, seed):
         out = tmp_path / name

@@ -29,5 +29,18 @@ class Net:
         return payloads
 
 
+class Registry:
+    def __init__(self):
+        self.fed = []
+
+
+def observe_phase_event(registry, event):
+    registry.fed.append(("phase", event))
+
+
+def observe_round(registry, sample):
+    registry.fed.append(("round", sample))
+
+
 def check_compose(member, value):
     return value

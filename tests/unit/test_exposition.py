@@ -1,0 +1,179 @@
+"""The per-node metrics exposition endpoint (repro.net.exposition).
+
+``render()`` is pure (request path in, HTTP bytes out) and carries the
+whole routing contract, so most of the suite needs no sockets.  The
+socket tests drive a real bound listener through a raw asyncio client
+— skipped wholesale where the sandbox cannot bind localhost TCP, same
+policy as the UDP serve suite.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.net.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    start_metrics_server,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _tcp_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_net_tx_total", "frames", labelnames=("node", "type")
+    ).labels("0", "gossip").inc(5)
+    registry.gauge("repro_net_round", "round", ("node",)) \
+        .labels("0").set(7)
+    return registry
+
+
+def _parse(response: bytes) -> tuple[str, dict, bytes]:
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("ascii").split("\r\n")
+    status = lines[0].split(" ", 1)[1]
+    headers = dict(
+        line.split(": ", 1) for line in lines[1:] if ": " in line
+    )
+    return status, headers, body
+
+
+class TestRender:
+    def test_metrics_is_prometheus_text(self):
+        server = MetricsServer(_registry())
+        status, headers, body = _parse(server.render("/metrics"))
+        assert status == "200 OK"
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert int(headers["Content-Length"]) == len(body)
+        assert headers["Connection"] == "close"
+        text = body.decode("utf-8")
+        assert "# TYPE repro_net_tx_total counter" in text
+        assert 'repro_net_tx_total{node="0", type="gossip"} 5' in text
+
+    def test_metrics_json_is_the_canonical_snapshot(self):
+        registry = _registry()
+        server = MetricsServer(registry)
+        status, headers, body = _parse(server.render("/metrics.json"))
+        assert status == "200 OK"
+        assert headers["Content-Type"].startswith("application/json")
+        assert body.decode("utf-8") == registry.snapshot_json()
+        assert json.loads(body)["schema"] == "repro-metrics/1"
+
+    def test_healthz(self):
+        status, __, body = _parse(
+            MetricsServer(_registry()).render("/healthz")
+        )
+        assert status == "200 OK"
+        assert body == b"ok\n"
+
+    def test_trailing_slash_is_tolerated(self):
+        server = MetricsServer(_registry())
+        for path in ("/metrics/", "/metrics.json/", "/healthz/"):
+            status, __, __body = _parse(server.render(path))
+            assert status == "200 OK", path
+
+    def test_unknown_path_is_404(self):
+        server = MetricsServer(_registry())
+        for path in ("/", "/metricsx", "/metrics.json.gz", "/favicon.ico"):
+            status, __, __body = _parse(server.render(path))
+            assert status == "404 Not Found", path
+
+    def test_scrapes_see_live_counters(self):
+        registry = _registry()
+        server = MetricsServer(registry)
+        before = server.render("/metrics.json")
+        registry.counter(
+            "repro_net_tx_total", labelnames=("node", "type")
+        ).labels("0", "gossip").inc()
+        after = server.render("/metrics.json")
+        assert before != after
+
+
+@pytest.mark.skipif(
+    not _tcp_available(), reason="cannot bind localhost TCP sockets"
+)
+class TestOverSockets:
+    def _request(self, raw: bytes) -> bytes:
+        """One raw HTTP exchange against a freshly bound listener."""
+        async def scenario():
+            server = await start_metrics_server(_registry(), port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(raw)
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    reader.read(), timeout=5
+                )
+                writer.close()
+                return response
+            finally:
+                await server.close()
+        return asyncio.run(scenario())
+
+    def test_get_metrics_roundtrip(self):
+        response = self._request(
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        status, headers, body = _parse(response)
+        assert status == "200 OK"
+        assert b"repro_net_tx_total" in body
+        assert int(headers["Content-Length"]) == len(body)
+
+    def test_get_metrics_json_roundtrip(self):
+        response = self._request(
+            b"GET /metrics.json HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        status, __, body = _parse(response)
+        assert status == "200 OK"
+        assert json.loads(body)["schema"] == "repro-metrics/1"
+
+    def test_non_get_is_405(self):
+        response = self._request(
+            b"POST /metrics HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 0\r\n\r\n"
+        )
+        status, __, __body = _parse(response)
+        assert status == "405 Method Not Allowed"
+
+    def test_port_zero_binds_an_ephemeral_port(self):
+        async def scenario():
+            server = await start_metrics_server(_registry(), port=0)
+            port = server.port
+            await server.close()
+            return port, server.port
+        port, after_close = asyncio.run(scenario())
+        assert port and port > 0
+        assert after_close is None
+
+    def test_garbage_request_line_closes_quietly(self):
+        async def scenario():
+            server = await start_metrics_server(_registry(), port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"\r\n")
+                await writer.drain()
+                response = await asyncio.wait_for(
+                    reader.read(), timeout=5
+                )
+                writer.close()
+                return response
+            finally:
+                await server.close()
+        assert asyncio.run(scenario()) == b""

@@ -1,0 +1,218 @@
+"""``repro top`` — target parsing, snapshot digestion, live polling.
+
+``node_view`` reads the positional-label ``repro-metrics/1`` sample
+shape, so the synthetic registries here are built through the real
+:class:`MetricsRegistry` (not hand-rolled dicts): any schema drift in
+the snapshot format breaks these tests, which is the point.  The live
+test runs a real exposition listener on a background event loop and
+drives the actual ``run_top`` entry point against it.
+"""
+
+import argparse
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.net.exposition import start_metrics_server
+from repro.net.top import (
+    TOP_SCHEMA,
+    node_view,
+    parse_target,
+    run_top,
+    top_record,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _node_registry(
+    node=0, round=9, started=1, terminated=1, tx=40, rx=38,
+) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_net_tx_total", "frames out", ("node", "type")
+    ).labels(node, "gossip").inc(tx)
+    registry.counter(
+        "repro_net_rx_total", "frames in", ("node", "type")
+    ).labels(node, "gossip").inc(rx)
+    registry.counter(
+        "repro_net_tx_bytes_total", "bytes out", ("node", "type")
+    ).labels(node, "gossip").inc(tx * 64)
+    registry.gauge("repro_net_round", "round", ("node",)) \
+        .labels(node).set(round)
+    registry.gauge("repro_net_started", "started", ("node",)) \
+        .labels(node).set(started)
+    registry.gauge("repro_net_terminated", "terminated", ("node",)) \
+        .labels(node).set(terminated)
+    registry.gauge(
+        "repro_net_suspected_peers", "suspects", ("node",)
+    ).labels(node).set(2)
+    registry.counter(
+        "repro_net_pings_sent_total", "pings", ("node",)
+    ).labels(node).inc(6)
+    registry.counter(
+        "repro_net_pongs_received_total", "pongs", ("node",)
+    ).labels(node).inc(5)
+    return registry
+
+
+class TestParseTarget:
+    def test_host_port(self):
+        assert parse_target("127.0.0.1:9100") == ("127.0.0.1", 9100)
+
+    @pytest.mark.parametrize(
+        "bad", ["9100", ":9100", "host:", "host:abc", "host"]
+    )
+    def test_malformed_targets_raise(self, bad):
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            parse_target(bad)
+
+
+class TestNodeView:
+    def test_down_endpoint(self):
+        assert node_view(None) == {"up": False}
+
+    def test_view_of_a_converged_node(self):
+        view = node_view(_node_registry().snapshot())
+        assert view["up"] is True
+        assert view["node"] == "0"
+        assert view["round"] == 9
+        assert view["started"] is True
+        assert view["converged"] is True
+        assert view["tx_total"] == 40
+        assert view["rx_total"] == 38
+        assert view["tx_bytes"] == 40 * 64
+        assert view["suspected_peers"] == 2
+        assert view["pings_sent"] == 6
+        assert view["pongs_received"] == 5
+
+    def test_bootstrap_node_is_not_started(self):
+        view = node_view(
+            _node_registry(started=0, terminated=0).snapshot()
+        )
+        assert view["started"] is False
+        assert view["converged"] is False
+
+    def test_missing_families_degrade_to_defaults(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_net_round", "round", ("node",)) \
+            .labels(3).set(1)
+        view = node_view(registry.snapshot())
+        assert view["up"] is True
+        assert view["node"] == "3"
+        assert view["tx_total"] == 0
+        assert view["suspected_peers"] is None
+
+
+class TestTopRecord:
+    def test_counts_and_schema(self):
+        targets = [("h", 1), ("h", 2), ("h", 3)]
+        views = [
+            node_view(_node_registry(node=0).snapshot()),
+            node_view(_node_registry(node=1, terminated=0).snapshot()),
+            node_view(None),
+        ]
+        record = top_record(targets, views, [1.5, None, None])
+        assert record["schema"] == TOP_SCHEMA
+        assert record["nodes_up"] == 2
+        assert record["nodes_converged"] == 1
+        assert record["nodes"][0]["endpoint"] == "h:1"
+        assert record["nodes"][0]["msgs_per_s"] == 1.5
+        assert record["nodes"][2] == {
+            "endpoint": "h:3", "up": False, "msgs_per_s": None,
+        }
+
+
+def _tcp_available() -> bool:
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+class _LiveEndpoint:
+    """A real exposition listener on a background event loop."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        server = self._loop.run_until_complete(
+            start_metrics_server(self.registry, port=0)
+        )
+        self.port = server.port
+        self._ready.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(server.close())
+
+    def __enter__(self) -> "_LiveEndpoint":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("exposition listener failed to start")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._loop is not None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+
+def _args(targets, **overrides) -> argparse.Namespace:
+    defaults = dict(
+        targets=targets, once=True, json=True,
+        interval=2.0, timeout=2.0, count=0,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+@pytest.mark.skipif(
+    not _tcp_available(), reason="cannot bind localhost TCP sockets"
+)
+class TestRunTop:
+    def test_once_json_against_a_live_endpoint(self, capsys):
+        with _LiveEndpoint(_node_registry()) as endpoint:
+            code = run_top(_args([f"127.0.0.1:{endpoint.port}"]))
+        record = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert record["schema"] == TOP_SCHEMA
+        assert record["nodes_up"] == 1
+        assert record["nodes_converged"] == 1
+        assert record["nodes"][0]["tx_total"] == 40
+
+    def test_once_table_against_a_live_endpoint(self, capsys):
+        with _LiveEndpoint(_node_registry()) as endpoint:
+            code = run_top(_args(
+                [f"127.0.0.1:{endpoint.port}"], json=False,
+            ))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+        assert "1/1 up, 1/1 converged" in out
+
+    def test_down_endpoint_exits_nonzero(self, capsys):
+        # A freshly probed-and-closed port refuses connections fast.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = run_top(_args([f"127.0.0.1:{port}"], timeout=0.5))
+        record = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert record["nodes_up"] == 0
+        assert record["nodes"][0]["up"] is False
+
+    def test_malformed_target_is_a_usage_error(self, capsys):
+        assert run_top(_args(["nonsense"])) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
